@@ -1,0 +1,19 @@
+"""Benchmark: the ablation studies of ThAM's design choices."""
+
+import pytest
+
+from repro.experiments import ablations
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablations(benchmark, artifact_sink):
+    result = benchmark.pedantic(lambda: ablations.run(iters=15), rounds=1, iterations=1)
+    artifact_sink("ablations", result.render())
+
+    by_name = {row[0]: row for row in result.rows}
+    assert by_name["stub caching"][3] > by_name["stub caching"][2]
+    assert by_name["persistent buffers"][3] > by_name["persistent buffers"][2]
+    assert by_name["preemptive threads"][3] > by_name["preemptive threads"][2]
+    assert by_name["interrupt reception"][3] > by_name["interrupt reception"][2]
+    # "95% of lock acquisitions are contention-less"
+    assert result.contentionless_fraction >= 0.90

@@ -1,0 +1,32 @@
+"""Benchmark: regenerate Figure 5 (EM3D per-edge breakdowns).
+
+``REPRO_FULL=1 pytest benchmarks/bench_figure5.py --benchmark-only``
+uses the paper's 800-node, degree-20 graph; the default reduced graph
+keeps the same shape at a fraction of the wall-clock.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments import figure5
+
+_FULL = bool(int(os.environ.get("REPRO_FULL", "0")))
+
+
+@pytest.mark.benchmark(group="figure5")
+def test_figure5(benchmark, artifact_sink):
+    result = benchmark.pedantic(
+        lambda: figure5.run(quick=not _FULL), rounds=1, iterations=1
+    )
+    artifact_sink("figure5", result.render())
+
+    # headline shapes from §6
+    assert result.ratio("base", 1.0) == pytest.approx(2.0, abs=0.7)
+    assert result.ratio("ghost", 1.0) == pytest.approx(2.5, abs=0.8)
+    assert result.ratio("bulk", 1.0) <= result.ratio("ghost", 1.0)
+    for lang in ("splitc", "ccpp"):
+        assert (
+            result.per_edge_us[("ghost", 1.0, lang)]
+            < result.per_edge_us[("base", 1.0, lang)]
+        )

@@ -1,0 +1,35 @@
+"""Benchmark: regenerate Figure 6 (Water and LU breakdowns).
+
+``REPRO_FULL=1`` runs the paper's sizes (512 molecules, 512x512 matrix);
+the default reduced sizes keep every code path at a fraction of the
+wall-clock.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments import figure6
+
+_FULL = bool(int(os.environ.get("REPRO_FULL", "0")))
+
+
+@pytest.mark.benchmark(group="figure6")
+def test_figure6(benchmark, artifact_sink):
+    result = benchmark.pedantic(
+        lambda: figure6.run(quick=not _FULL), rounds=1, iterations=1
+    )
+    artifact_sink("figure6", result.render())
+
+    labels = result.labels()
+    # CC++ within the paper's 2-6x envelope (reduced sizes sit lower)
+    for label in labels:
+        assert 1.0 <= result.ratio(label) <= 7.0, label
+    # prefetch beats atomic for every size and language
+    water_sizes = {int(l.rsplit(" ", 1)[1]) for l in labels if l.startswith("water")}
+    for n in water_sizes:
+        for lang in ("splitc", "ccpp"):
+            assert (
+                result.rows[(f"water-prefetch {n}", lang)].elapsed_us
+                < result.rows[(f"water-atomic {n}", lang)].elapsed_us
+            )

@@ -1,0 +1,24 @@
+"""Benchmark: regenerate the §6 CC++/ThAM vs CC++/Nexus comparison."""
+
+import os
+
+import pytest
+
+from repro.experiments import nexus_compare
+
+_FULL = bool(int(os.environ.get("REPRO_FULL", "0")))
+
+
+@pytest.mark.benchmark(group="nexus")
+def test_nexus_comparison(benchmark, artifact_sink):
+    result = benchmark.pedantic(
+        lambda: nexus_compare.run(quick=not _FULL), rounds=1, iterations=1
+    )
+    artifact_sink("nexus_compare", result.render())
+
+    # the paper's envelope: 5x (compute-bound) to ~35x (communication-bound)
+    assert 4.0 <= result.speedup("lu") <= 8.0
+    assert 25.0 <= result.speedup("em3d-base") <= 50.0
+    assert result.speedup("em3d-base") > result.speedup("lu")
+    for label in result.tham_us:
+        assert result.speedup(label) > 3.0, label

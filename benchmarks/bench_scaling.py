@@ -1,0 +1,17 @@
+"""Benchmark: the bulk-transfer scaling sweep (§6's 'factor of about
+200' remark)."""
+
+import pytest
+
+from repro.experiments import scaling
+
+
+@pytest.mark.benchmark(group="scaling")
+def test_bulk_transfer_scaling(benchmark, artifact_sink):
+    result = benchmark.pedantic(scaling.run, rounds=1, iterations=1)
+    artifact_sink("scaling", result.render())
+
+    ratios = result.ratios()
+    assert ratios == sorted(ratios), "penalty must grow with volume"
+    assert 1.5 <= ratios[0] <= 3.5     # Table 4's bounded constant
+    assert ratios[-1] > 2 * ratios[0]  # the 'significant hit'

@@ -1,0 +1,58 @@
+"""Benchmark: the simulator's own throughput (wall-clock performance of
+the library, as opposed to the virtual-time paper artifacts).
+
+Useful for tracking regressions in the engine/scheduler hot paths: the
+numbers are real seconds, and `benchmark.extra_info` records how many
+simulation events each scenario fired.
+"""
+
+import pytest
+
+from repro.experiments.microbench import run_cc_microbench, run_sc_microbench
+from repro.apps.em3d import Em3dGraph, Em3dParams, run_splitc_em3d
+
+
+@pytest.mark.benchmark(group="simulator-throughput")
+def test_engine_event_throughput(benchmark):
+    """Raw engine: schedule/fire chains of dependent events."""
+    from repro.sim.engine import Simulator
+
+    def run():
+        sim = Simulator()
+        state = {"left": 20_000}
+
+        def tick():
+            if state["left"] > 0:
+                state["left"] -= 1
+                sim.schedule(1.0, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        return sim.events_fired
+
+    fired = benchmark(run)
+    assert fired == 20_001
+
+
+@pytest.mark.benchmark(group="simulator-throughput")
+def test_ccpp_rmi_simulation_rate(benchmark):
+    """Full CC++ RMI path, 100 warm round trips per call."""
+    row = benchmark(lambda: run_cc_microbench("0-Word", iters=100))
+    assert row.total_us > 0
+
+
+@pytest.mark.benchmark(group="simulator-throughput")
+def test_splitc_read_simulation_rate(benchmark):
+    row = benchmark(lambda: run_sc_microbench("GP 2-Word R/W", iters=100))
+    assert row.total_us > 0
+
+
+@pytest.mark.benchmark(group="simulator-throughput")
+def test_em3d_step_simulation_rate(benchmark):
+    graph = Em3dGraph(Em3dParams(n_nodes=160, degree=8, n_procs=4, pct_remote=1.0))
+    res = benchmark.pedantic(
+        lambda: run_splitc_em3d(graph, steps=1, version="base", warmup_steps=0),
+        rounds=1,
+        iterations=1,
+    )
+    assert res.elapsed_us > 0

@@ -1,0 +1,66 @@
+"""Benchmark: regenerate Table 4 (communication micro-benchmarks).
+
+Each row is an individually benchmarked simulation (wall-clock measures
+the simulator's speed; the *virtual* numbers are the paper artifact,
+printed and saved at the end).
+"""
+
+import pytest
+
+from repro.experiments import paper, table4
+from repro.experiments.microbench import (
+    CC_BENCHMARKS,
+    SC_BENCHMARKS,
+    am_base_rtt,
+    mpl_rtt,
+    run_cc_microbench,
+    run_sc_microbench,
+)
+
+_ITERS = 25
+
+
+@pytest.mark.parametrize("name", list(CC_BENCHMARKS))
+@pytest.mark.benchmark(group="table4-ccpp")
+def test_cc_row(benchmark, name):
+    row = benchmark.pedantic(
+        lambda: run_cc_microbench(name, iters=_ITERS), rounds=1, iterations=1
+    )
+    published = paper.TABLE4[name].cc_total
+    assert row.total_us == pytest.approx(published, rel=0.2)
+    benchmark.extra_info["virtual_us"] = row.total_us
+    benchmark.extra_info["paper_us"] = published
+
+
+@pytest.mark.parametrize("name", list(SC_BENCHMARKS))
+@pytest.mark.benchmark(group="table4-splitc")
+def test_sc_row(benchmark, name):
+    row = benchmark.pedantic(
+        lambda: run_sc_microbench(name, iters=_ITERS), rounds=1, iterations=1
+    )
+    published = paper.TABLE4[name].sc_total
+    assert row.total_us == pytest.approx(published, rel=0.2)
+    benchmark.extra_info["virtual_us"] = row.total_us
+    benchmark.extra_info["paper_us"] = published
+
+
+@pytest.mark.benchmark(group="table4-references")
+def test_am_reference(benchmark):
+    rtt = benchmark.pedantic(lambda: am_base_rtt(iters=_ITERS), rounds=1, iterations=1)
+    assert rtt == pytest.approx(paper.AM_BASE_RTT_US, rel=0.05)
+
+
+@pytest.mark.benchmark(group="table4-references")
+def test_mpl_reference(benchmark):
+    rtt = benchmark.pedantic(lambda: mpl_rtt(iters=_ITERS), rounds=1, iterations=1)
+    assert rtt == pytest.approx(paper.MPL_RTT_US, rel=0.05)
+
+
+@pytest.mark.benchmark(group="table4-full")
+def test_full_table(benchmark, artifact_sink):
+    """Regenerate and print the complete Table 4."""
+    result = benchmark.pedantic(lambda: table4.run(iters=_ITERS), rounds=1, iterations=1)
+    artifact_sink("table4", result.render())
+    # the null RMI stays within ~12 us of the raw AM round trip
+    assert result.cc["0-Word Simple"].total_us - result.am_rtt_us < 20.0
+    assert result.cc["0-Word Simple"].total_us < result.mpl_rtt_us

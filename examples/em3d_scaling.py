@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""EM3D communication-scaling study (the workload behind Figure 5).
+
+Sweeps the remote-edge fraction and compares the per-edge execution time
+of all three EM3D versions in both languages, verifying every run against
+the sequential reference.
+
+Run:  python examples/em3d_scaling.py
+"""
+
+import numpy as np
+
+from repro.apps.em3d import (
+    Em3dGraph,
+    Em3dParams,
+    reference_steps,
+    run_ccpp_em3d,
+    run_splitc_em3d,
+)
+from repro.util.tables import TextTable
+
+
+def main() -> None:
+    table = TextTable(
+        ["remote %", "version", "split-c us/edge", "cc++ us/edge", "ratio"],
+        title="EM3D per-edge time vs remote-edge fraction (240 nodes, degree 8)",
+    )
+    steps = 2
+    for pct in (0.1, 0.5, 1.0):
+        graph = Em3dGraph(
+            Em3dParams(n_nodes=240, degree=8, n_procs=4, pct_remote=pct, seed=42)
+        )
+        expect = reference_steps(graph, steps + 1)  # +1 warm-up step
+        for version in ("base", "ghost", "bulk"):
+            sc = run_splitc_em3d(graph, steps=steps, version=version)
+            cc = run_ccpp_em3d(graph, steps=steps, version=version)
+            assert np.allclose(sc.values, expect), f"split-c {version} diverged"
+            assert np.allclose(cc.values, expect), f"cc++ {version} diverged"
+            table.add_row(
+                [
+                    int(pct * 100),
+                    version,
+                    f"{sc.per_edge_us:.2f}",
+                    f"{cc.per_edge_us:.2f}",
+                    f"{cc.per_edge_us / sc.per_edge_us:.2f}",
+                ]
+            )
+        table.add_separator()
+    print(table.render())
+    print(
+        "\nEvery run validated against the sequential NumPy reference.\n"
+        "Note how ghost/bulk collapse the Split-C and CC++ times alike —\n"
+        "the paper's point that SPMD optimizations transfer to MPMD code."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Molecular-dynamics mini-study on the simulated machine (Figure 6's
+Water workload).
+
+Runs a few MD steps of the N-body water system in both languages and
+both communication styles, validating positions and potential energy
+against the direct O(N^2) reference, then prints where the time went.
+
+Run:  python examples/water_md.py
+"""
+
+import numpy as np
+
+from repro.apps.water import (
+    WaterParams,
+    WaterSystem,
+    reference_water,
+    run_ccpp_water,
+    run_splitc_water,
+)
+from repro.util.tables import TextTable
+from repro.util.units import us_to_ms
+
+
+def main() -> None:
+    params = WaterParams(n_molecules=32, n_procs=4, steps=3, seed=7)
+    system = WaterSystem(params)
+    ref_pos, _ref_vel, ref_pot = reference_water(system, params.steps)
+
+    table = TextTable(
+        ["version", "lang", "time (ms)", "net %", "runtime %", "potential ok"],
+        title=f"Water, N={params.n_molecules}, {params.steps} steps, 4 procs",
+    )
+    for version in ("atomic", "prefetch"):
+        for lang, runner in (("split-c", run_splitc_water), ("cc++", run_ccpp_water)):
+            res = runner(system, version=version)
+            assert np.allclose(res.positions, ref_pos), f"{lang} {version} diverged"
+            total = sum(res.breakdown.values())
+            net = res.breakdown.get("net", 0) + res.breakdown.get("idle", 0)
+            table.add_row(
+                [
+                    version,
+                    lang,
+                    f"{us_to_ms(res.elapsed_us):.2f}",
+                    f"{100 * net / total:.0f}",
+                    f"{100 * res.breakdown.get('runtime', 0) / total:.0f}",
+                    str(bool(np.isclose(res.potential, ref_pot))),
+                ]
+            )
+    print(table.render())
+    print(
+        "\nPrefetch bundles each peer's coordinates into one transfer per\n"
+        "step — the ~10x message reduction that closes most of the gap."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""repro — reproduction of *Evaluating the Performance Limitations of MPMD
+Communication* (Chang, Czajkowski, von Eicken, Kesselman — SC 1997).
+
+The package implements, in pure Python, every system the paper depends on:
+
+* a deterministic discrete-event **simulated multicomputer** standing in for
+  the IBM RS/6000 SP (:mod:`repro.machine`, :mod:`repro.sim`),
+* an **Active Messages** layer (:mod:`repro.am`) and a non-preemptive
+  **user-level threads** package (:mod:`repro.threads`),
+* the SPMD language runtime **Split-C** (:mod:`repro.splitc`),
+* the paper's contribution, the MPMD **CC++/ThAM** runtime
+  (:mod:`repro.ccpp`), plus the heavyweight **CC++/Nexus** baseline
+  (:mod:`repro.nexus`) and an **IBM MPL**-like two-sided layer
+  (:mod:`repro.mpl`),
+* the three evaluation applications — EM3D, Water, and blocked LU —
+  in both languages (:mod:`repro.apps`), and
+* a benchmark harness regenerating every table and figure of the paper's
+  evaluation section (:mod:`repro.experiments`).
+
+All performance numbers are reported in **virtual microseconds** of the
+simulated machine; see ``DESIGN.md`` for the substitution rationale and
+calibration.
+"""
+
+from repro._version import __version__
+from repro.errors import (
+    DeadlockError,
+    MarshalError,
+    ReproError,
+    RuntimeStateError,
+    SimulationError,
+)
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "SimulationError",
+    "DeadlockError",
+    "MarshalError",
+    "RuntimeStateError",
+]

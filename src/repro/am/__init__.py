@@ -1,0 +1,23 @@
+"""Active Messages (von Eicken et al., ISCA '92) on the simulated SP.
+
+An active message carries the identifier of a **handler** that runs at the
+receiver, at poll time, in the context of the polling thread — handlers
+integrate communication into computation without intermediate buffering.
+
+Reception is **polling-based** (the paper: software interrupts on the SP
+are too expensive): a node polls its inbox on every send, plus wherever
+the language runtime inserts explicit polls (Split-C spin-waits, the CC++
+polling thread).  The interval between a packet's delivery and the poll
+that services it is the queuing delay the paper discusses.
+"""
+
+from repro.am.frames import BULK_HEADER_BYTES, SHORT_HEADER_BYTES, AMFrame
+from repro.am.layer import AMEndpoint, install_am
+
+__all__ = [
+    "AMFrame",
+    "AMEndpoint",
+    "install_am",
+    "SHORT_HEADER_BYTES",
+    "BULK_HEADER_BYTES",
+]

@@ -1,0 +1,32 @@
+"""Wire frames for the AM layer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["AMFrame", "SHORT_HEADER_BYTES", "BULK_HEADER_BYTES"]
+
+#: bytes of header on the short-message path (src, dst, handler id, len)
+SHORT_HEADER_BYTES = 8
+#: bytes of header on the bulk path (adds segment address + offset + len)
+BULK_HEADER_BYTES = 16
+
+
+@dataclass(slots=True)
+class AMFrame:
+    """One active message as the handler sees it.
+
+    ``args`` are the short-word arguments of the classic AM interface
+    (register-sized values, free-form Python values here); ``data`` is the
+    marshalled byte payload for messages that carry one.
+    """
+
+    handler: str
+    args: tuple[Any, ...] = ()
+    data: bytes = b""
+
+    def payload_bytes(self) -> int:
+        """Conservative wire size of the variable part: 8 bytes per short
+        argument word plus the byte payload."""
+        return 8 * len(self.args) + len(self.data)

@@ -1,0 +1,15 @@
+"""The paper's three evaluation applications, in both languages.
+
+* :mod:`repro.apps.em3d` — electromagnetic wave propagation on a
+  bipartite graph (Figure 5; three optimization levels).
+* :mod:`repro.apps.water` — SPLASH N-body molecular dynamics (Figure 6;
+  atomic and prefetch versions).
+* :mod:`repro.apps.lu` — SPLASH blocked dense LU decomposition
+  (Figure 6).
+
+Each application package provides a workload generator, a sequential
+NumPy reference the parallel versions are validated against, and one
+implementation per language (``splitc_impl`` / ``ccpp_impl``) —
+deliberately line-by-line parallel in structure, like the paper's CC++
+ports of the original Split-C sources (footnote 1).
+"""

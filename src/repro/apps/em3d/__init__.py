@@ -1,0 +1,28 @@
+"""EM3D: electromagnetic wave propagation (Culler et al. / Madsen).
+
+A bipartite graph of E-nodes and H-nodes; each step updates every node's
+value as a weighted sum of its (other-kind) neighbours' values.  The
+remote-edge fraction parameter controls the communication-to-computation
+ratio — the x-axis of Figure 5.
+
+Three versions per language (§5):
+
+* **base** — dereference a global pointer per remote value use,
+* **ghost** — fetch each *distinct* remote neighbour once into a local
+  ghost node, then compute locally,
+* **bulk** — aggregate all ghost values coming from one processor into a
+  single bulk transfer.
+"""
+
+from repro.apps.em3d.ccpp_impl import run_ccpp_em3d
+from repro.apps.em3d.graph import Em3dGraph, Em3dParams
+from repro.apps.em3d.reference import reference_steps
+from repro.apps.em3d.splitc_impl import run_splitc_em3d
+
+__all__ = [
+    "Em3dGraph",
+    "Em3dParams",
+    "reference_steps",
+    "run_splitc_em3d",
+    "run_ccpp_em3d",
+]

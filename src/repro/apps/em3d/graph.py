@@ -1,0 +1,159 @@
+"""EM3D workload generation.
+
+The benchmark graph of §5: ``n_nodes`` graph nodes (half E, half H)
+distributed evenly over ``n_procs`` processors, each node with ``degree``
+neighbours of the other kind; the fraction of edges crossing processor
+boundaries is a parameter (10–100 % in Figure 5).
+
+Node numbering: E-nodes then H-nodes, assigned round-robin to processors
+so every processor holds ``n/2P`` of each kind.  Edges are directed
+*dependencies*: node ``u`` reads each of its ``degree`` neighbours every
+step (the paper counts these 800 × 20 / 2-per-kind as "4000 edges").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.util.rng import make_rng
+
+__all__ = ["Em3dParams", "Em3dGraph", "GraphNode"]
+
+
+@dataclass(frozen=True, slots=True)
+class Em3dParams:
+    """Workload parameters (defaults = the paper's benchmark run)."""
+
+    n_nodes: int = 800       # total graph nodes (half E, half H)
+    degree: int = 20         # neighbours per node
+    n_procs: int = 4
+    pct_remote: float = 1.0  # fraction of edges crossing processors
+    seed: int = 1997
+
+    def validate(self) -> "Em3dParams":
+        if self.n_nodes % (2 * self.n_procs):
+            raise ReproError(
+                f"n_nodes={self.n_nodes} must be divisible by 2*n_procs so every "
+                "processor holds the same number of E- and H-nodes"
+            )
+        if self.degree < 1:
+            raise ReproError("degree must be >= 1")
+        if not 0.0 <= self.pct_remote <= 1.0:
+            raise ReproError(f"pct_remote={self.pct_remote} out of [0, 1]")
+        return self
+
+
+@dataclass(slots=True)
+class GraphNode:
+    """One graph node, in structure-of-arrays-friendly form."""
+
+    gid: int              # global node id
+    proc: int             # owning processor
+    local: int            # index into the owner's value array
+    is_e: bool
+    neighbors: list[int] = field(default_factory=list)   # global ids
+    weights: list[float] = field(default_factory=list)
+
+
+class Em3dGraph:
+    """The distributed bipartite graph plus layout metadata.
+
+    The structure (adjacency, weights, placement) is plain Python shared
+    by the harness; the *values* live in simulated per-node memory — the
+    structure is what a real program's load phase would replicate.
+    """
+
+    def __init__(self, params: Em3dParams):
+        self.params = params.validate()
+        p = self.params
+        rng = make_rng(p.seed)
+        half = p.n_nodes // 2
+        per_proc_half = half // p.n_procs
+
+        self.nodes: list[GraphNode] = []
+        # E-nodes: gids [0, half); H-nodes: gids [half, n)
+        for kind_base, is_e in ((0, True), (half, False)):
+            for i in range(half):
+                proc = i % p.n_procs
+                local = i // p.n_procs
+                self.nodes.append(GraphNode(kind_base + i, proc, local, is_e))
+
+        # choose neighbours: for node u on proc q, a remote edge picks a
+        # partner of the other kind on a different processor
+        half_ids = np.arange(half)
+        for u in self.nodes:
+            other_base = half if u.is_e else 0
+            n_remote = int(round(p.degree * p.pct_remote))
+            for k in range(p.degree):
+                remote = k < n_remote
+                if p.n_procs == 1:
+                    remote = False
+                if remote:
+                    proc = int(rng.integers(p.n_procs - 1))
+                    if proc >= u.proc:
+                        proc += 1
+                else:
+                    proc = u.proc
+                local = int(rng.integers(per_proc_half))
+                v_gid = other_base + proc + local * p.n_procs
+                u.neighbors.append(v_gid)
+                u.weights.append(float(rng.uniform(0.1, 1.0)))
+
+        #: initial node values, by global id (reference + simulated runs
+        #: both start from this state)
+        self.initial = np.asarray(rng.uniform(-1.0, 1.0, p.n_nodes))
+
+    # -------------------------------------------------------------- geometry
+
+    @property
+    def n_edges(self) -> int:
+        """Directed dependency count (the paper's "4000 edges" counts each
+        node's degree once per kind-half)."""
+        return sum(len(n.neighbors) for n in self.nodes) // 2
+
+    @property
+    def edge_terms_per_step(self) -> int:
+        """Weighted-sum terms evaluated per step (both phases)."""
+        return sum(len(n.neighbors) for n in self.nodes)
+
+    def owner(self, gid: int) -> tuple[int, int]:
+        """global id -> (proc, local index)."""
+        n = self.nodes[gid]
+        return n.proc, n.local
+
+    def local_nodes(self, proc: int, *, e_nodes: bool) -> list[GraphNode]:
+        return [n for n in self.nodes if n.proc == proc and n.is_e == e_nodes]
+
+    def local_value_count(self, proc: int) -> int:
+        """Elements of the per-processor value region (E then H halves)."""
+        return sum(1 for n in self.nodes if n.proc == proc)
+
+    def value_slot(self, gid: int) -> tuple[int, int]:
+        """global id -> (proc, offset in the per-proc value region).
+
+        Layout per processor: E-node values first, then H-node values —
+        matching a Split-C spread-array declaration per kind.
+        """
+        node = self.nodes[gid]
+        half_local = self.local_value_count(node.proc) // 2
+        off = node.local if node.is_e else half_local + node.local
+        return node.proc, off
+
+    def remote_ghosts(self, proc: int, *, for_e_phase: bool) -> dict[int, list[int]]:
+        """For the ghost/bulk versions: per source processor, the sorted
+        distinct remote gids that ``proc`` reads in the given phase.
+
+        ``for_e_phase=True`` is the phase updating E-nodes (reading H
+        neighbours)."""
+        needed: set[int] = set()
+        for n in self.local_nodes(proc, e_nodes=for_e_phase):
+            for v in n.neighbors:
+                if self.nodes[v].proc != proc:
+                    needed.add(v)
+        by_src: dict[int, list[int]] = {}
+        for gid in sorted(needed):
+            by_src.setdefault(self.nodes[gid].proc, []).append(gid)
+        return by_src

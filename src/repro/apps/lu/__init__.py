@@ -1,0 +1,28 @@
+"""Blocked dense LU decomposition (SPLASH suite).
+
+A dense n×n matrix is split into b×b blocks scattered over a 2-D
+processor grid.  Each step k: (1) the owner factors pivot block (k,k);
+(2) processors with blocks in row/column k obtain the pivot and compute
+the L/U panels; (3) interior blocks fetch the panel blocks they need and
+update.  Every remote block must be re-fetched each step, since it was
+modified in preceding sub-steps (§5).
+
+``sc-lu`` distributes the pivot with one-way bulk stores and prefetches
+panel blocks with split-phase bulk gets; ``cc-lu`` replaces both with
+RMIs returning blocks by value.
+"""
+
+from repro.apps.lu.blocked import LuParams, LuWorkload, lu_nopivot
+from repro.apps.lu.ccpp_impl import run_ccpp_lu
+from repro.apps.lu.reference import check_factorization, reference_lu
+from repro.apps.lu.splitc_impl import run_splitc_lu
+
+__all__ = [
+    "LuParams",
+    "LuWorkload",
+    "lu_nopivot",
+    "reference_lu",
+    "check_factorization",
+    "run_splitc_lu",
+    "run_ccpp_lu",
+]

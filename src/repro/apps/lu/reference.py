@@ -1,0 +1,29 @@
+"""LU reference and verification helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.lu.blocked import LuWorkload, lu_nopivot
+
+__all__ = ["reference_lu", "check_factorization", "assemble"]
+
+
+def reference_lu(work: LuWorkload) -> np.ndarray:
+    """Sequential unpivoted LU of the full matrix (L\\U packed in place)."""
+    a = work.matrix.copy()
+    lu_nopivot(a)
+    return a
+
+
+def assemble(packed: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Split a packed L\\U array into explicit (unit-lower L, upper U)."""
+    lower = np.tril(packed, -1) + np.eye(packed.shape[0])
+    upper = np.triu(packed)
+    return lower, upper
+
+
+def check_factorization(work: LuWorkload, packed: np.ndarray, *, rtol: float = 1e-8) -> bool:
+    """Does the packed factorization reproduce the original matrix?"""
+    lower, upper = assemble(packed)
+    return bool(np.allclose(lower @ upper, work.matrix, rtol=rtol, atol=1e-8))

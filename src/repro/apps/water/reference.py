@@ -1,0 +1,35 @@
+"""Sequential Water reference: direct O(N²) force sums."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.water.system import WaterSystem, pair_interaction
+
+__all__ = ["reference_water"]
+
+
+def reference_water(system: WaterSystem, steps: int) -> tuple[np.ndarray, np.ndarray, float]:
+    """Run ``steps`` of the same integrator the parallel versions use.
+
+    Returns (positions, velocities, last-step potential).  Pair (i, j)
+    with i < j is evaluated once; the force is applied to both partners
+    (Newton's third law), matching the parallel owner-computes rule.
+    """
+    pos = system.positions.copy()
+    vel = system.velocities.copy()
+    n = system.params.n_molecules
+    dt = system.params.dt
+    potential = 0.0
+    for _ in range(steps):
+        forces = np.zeros_like(pos)
+        potential = 0.0
+        for i in range(n):
+            for j in range(i + 1, n):
+                f, pot = pair_interaction(pos[i], pos[j])
+                forces[i] += f
+                forces[j] -= f
+                potential += pot
+        vel += dt * forces
+        pos += dt * vel
+    return pos, vel, potential

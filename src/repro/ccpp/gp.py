@@ -1,0 +1,77 @@
+"""CC++ global pointers.
+
+Unlike Split-C's transparent (node, address) pairs, CC++ global pointers
+are **opaque**: no node arithmetic, no visibility into the layout.  The
+compiler turns every dereference into an RMI.  Two kinds exist here:
+
+* :class:`ObjectGlobalPtr` — a reference to a processor object; method
+  calls through it become RMIs.
+* :class:`DataGlobalPtr` — a reference to data owned by a processor
+  object (``double *global`` in the paper's micro-benchmarks).  Ordinary
+  element arithmetic (``gp + i``) is allowed, as in C++; hopping nodes is
+  not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import GlobalPointerError
+
+__all__ = ["ObjectGlobalPtr", "DataGlobalPtr"]
+
+
+@dataclass(frozen=True, slots=True)
+class ObjectGlobalPtr:
+    """Opaque, *typed* reference to a processor object.
+
+    ``cls`` is the static type of the pointer (C++ pointers are typed);
+    the runtime composes it with method names for stub lookup, so calling
+    through a base-class pointer works with inherited processor types.
+    """
+
+    node: int
+    obj_id: int
+    cls: str = ""
+
+    def __post_init__(self) -> None:
+        if self.node < 0 or self.obj_id < 0:
+            raise GlobalPointerError(f"invalid {self!r}")
+
+    def as_type(self, cls: str) -> "ObjectGlobalPtr":
+        """Up/down-cast the pointer to another processor-object type."""
+        return replace(self, cls=cls)
+
+    def __repr__(self) -> str:
+        return f"ObjectGlobalPtr(node={self.node}, obj={self.obj_id}, cls={self.cls!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class DataGlobalPtr:
+    """Opaque reference to one element of a data region owned by a node.
+
+    Supports element arithmetic only — ``gp + k`` — mirroring C++ pointer
+    arithmetic within an array.  There is deliberately no ``on_node``:
+    that transparency is the Split-C feature CC++ gives up.
+    """
+
+    node: int
+    region: str
+    offset: int = 0
+
+    def __post_init__(self) -> None:
+        if self.node < 0 or self.offset < 0:
+            raise GlobalPointerError(f"invalid {self!r}")
+
+    def __add__(self, delta: int) -> "DataGlobalPtr":
+        if not isinstance(delta, int):
+            return NotImplemented
+        return replace(self, offset=self.offset + delta)
+
+    def __sub__(self, delta: int) -> "DataGlobalPtr":
+        if not isinstance(delta, int):
+            return NotImplemented
+        return replace(self, offset=self.offset - delta)
+
+    def __repr__(self) -> str:
+        return f"DataGlobalPtr(node={self.node}, {self.region!r}, {self.offset})"

@@ -1,0 +1,19 @@
+"""Per-node data regions for CC++ (what ``double *global`` points at).
+
+Reuses the region mechanics of :class:`repro.splitc.memory.Memory` under a
+different service name: both languages' data live side by side when a
+node runs comparisons, and the *access* semantics differ in the runtimes,
+not in the storage.
+"""
+
+from __future__ import annotations
+
+from repro.splitc.memory import Memory
+
+__all__ = ["CCMemory"]
+
+
+class CCMemory(Memory):
+    """CC++ data-region storage; one per node."""
+
+    SERVICE = "cc_mem"

@@ -1,0 +1,31 @@
+"""Method name hashing.
+
+The stub cache is indexed by (processor number, method-name hash).  The
+hash must be stable across nodes and runs (Python's builtin ``hash`` is
+salted per process, so it is *not* usable): FNV-1a over the UTF-8 name.
+"""
+
+from __future__ import annotations
+
+__all__ = ["method_hash", "MethodName"]
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+
+def method_hash(name: str) -> int:
+    """Deterministic 64-bit FNV-1a hash of a method name."""
+    h = _FNV_OFFSET
+    for byte in name.encode("utf-8"):
+        h ^= byte
+        h = (h * _FNV_PRIME) & 0xFFFFFFFFFFFFFFFF
+    return h
+
+
+class MethodName:
+    """Canonical 'Class::method' naming, as the front-end translator
+    would emit."""
+
+    @staticmethod
+    def of(cls_name: str, method: str) -> str:
+        return f"{cls_name}::{method}"

@@ -1,0 +1,32 @@
+"""The CC++ polling thread (§4, *Polling Thread*).
+
+Software interrupts on the SP are expensive, so reception polls on every
+send; but a node with no runnable thread would then never receive —
+deadlock.  The runtime therefore forks one daemon polling thread per node
+at initialization.  Its context switches are a large fraction of the
+thread-management cost the paper measures ("75–85 % of this cost is due
+to context switches, a large fraction of which can be attributed to the
+polling thread").
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from typing import Any
+
+from repro.sim.effects import Switch, WaitInbox
+
+__all__ = ["polling_loop"]
+
+
+def polling_loop(node: Any) -> Generator[Any, Any, None]:
+    """Body of the polling thread: poll; hand the CPU to ready threads;
+    sleep on the inbox when the node is quiescent."""
+    ep = node.service("am")
+    sched = node.scheduler
+    while True:
+        yield from ep.poll()
+        if sched.has_other_ready():
+            yield Switch()
+        elif not node.has_mail:
+            yield WaitInbox()

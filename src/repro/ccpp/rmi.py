@@ -1,0 +1,574 @@
+"""The RMI engine: initiator-side invoke, callee-side dispatch, replies.
+
+Protocol (all over :mod:`repro.am`):
+
+``cc.rmi``
+    request.  Warm: carries the compact stub id (and deposits its payload
+    straight into the method's persistent R-buffer).  Cold: carries the
+    full method name; the callee resolves it, allocates an R-buffer, pays
+    the static-area copy, and sends ``cc.stub_update`` back.
+    Requests with marshalled arguments ride the **bulk** path (the 15 µs
+    the paper sees on 1-Word/2-Word); zero-argument requests stay short.
+``cc.reply``
+    marshalled return value; short if small, bulk otherwise.  A bulk
+    reply pays the double copy at the initiator (static area → R-buffer →
+    object) — the BulkRead asymmetry of Table 4.
+``cc.stub_update``
+    back-fills the initiator's stub cache.
+``cc.gp_read`` / ``cc.gp_write`` / ``cc.gp_val`` / ``cc.gp_ack``
+    the optimized small-message path for simple-type accesses through
+    data global pointers (GP R/W in Table 4).
+
+Thread-safety: the stub table, reply-slot table, communication port and
+buffer pool are guarded by real locks, and a parked initiator waits on a
+real condition variable — the (mostly uncontended) sync operations these
+generate are exactly what the paper's Sync column counts.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Generator
+
+import numpy as np
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.am import AMEndpoint, AMFrame
+from repro.am.frames import BULK_HEADER_BYTES, SHORT_HEADER_BYTES
+from repro.ccpp.gp import DataGlobalPtr, ObjectGlobalPtr
+from repro.ccpp.names import MethodName
+from repro.errors import RemoteInvocationError, RuntimeStateError
+from repro.marshal import marshal_args, unmarshal_args
+from repro.sim.account import Category, CounterNames
+from repro.sim.effects import Charge
+from repro.threads.api import spawn
+from repro.threads.sync import Condition, Lock
+from repro.threads.thread import UThread
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ccpp.runtime import CCppRuntime
+
+__all__ = ["RMIEngine", "WaitMode", "RMIBox"]
+
+_RMI_CONTROL_BYTES = 24       # slot + stub/obj ids + flags
+_REPLY_CONTROL_BYTES = 12     # slot + status
+_STUB_UPDATE_BYTES = 24       # stub id + rbuf id (+ name hash)
+_GP_REQ_BYTES = 24
+_GP_VAL_BYTES = 16
+#: marshalled payloads up to this many bytes ride the short path
+_SHORT_PAYLOAD_LIMIT = 16
+
+
+class WaitMode(enum.Enum):
+    """How the initiating thread waits for the reply."""
+
+    SPIN = "spin"   # poll inline, no thread switch (Table 4 'Simple')
+    PARK = "park"   # block on a condition; the polling thread services
+
+
+@dataclass(slots=True)
+class RMIBox:
+    """Initiator-side completion record for one outstanding RMI."""
+
+    mode: WaitMode
+    done: bool = False
+    status: str = "ok"
+    payload: bytes = b""
+    value: Any = None          # for the GP fast path (no marshalling)
+    via_bulk: bool = False
+    lock: Lock | None = None
+    cond: Condition | None = None
+
+
+@dataclass(slots=True)
+class _NodeRMIState:
+    """Per-node engine state."""
+
+    slots: dict[int, RMIBox] = field(default_factory=dict)
+    next_slot: int = 0
+    slot_lock: Lock | None = None
+    comm_lock: Lock | None = None
+
+
+class RMIEngine:
+    """Shared engine over all nodes of one runtime."""
+
+    def __init__(self, rt: "CCppRuntime"):
+        self.rt = rt
+        self._state = [
+            _NodeRMIState(
+                slot_lock=Lock(node, "rmi-slots"),
+                comm_lock=Lock(node, "comm-port"),
+            )
+            for node in rt.cluster.nodes
+        ]
+        for ep in rt.endpoints:
+            ep.register_handler("cc.rmi", self._h_rmi)
+            ep.register_handler("cc.reply", self._h_reply)
+            ep.register_handler("cc.stub_update", self._h_stub_update)
+            ep.register_handler("cc.gp_read", self._h_gp_read)
+            ep.register_handler("cc.gp_write", self._h_gp_write)
+            ep.register_handler("cc.gp_val", self._h_gp_val)
+            ep.register_handler("cc.gp_ack", self._h_gp_ack)
+
+    # ----------------------------------------------------------- marshalling
+
+    def _marshal_charge(self, node, nbytes: int, args: tuple) -> Charge:
+        """Marshalling cost, dependent on argument *types* (§3): plain
+        double/byte arrays take the compiler-inlined memcpy path; user
+        classes and generic containers pay a full dynamic dispatch to
+        their serialization methods."""
+        from repro.marshal import Marshallable
+
+        rc = node.costs.runtime
+        us = rc.marshal_fixed
+        simple_bytes = 0
+        for a in args:
+            if isinstance(a, np.ndarray):
+                us += rc.marshal_simple_array_fixed
+                simple_bytes += a.nbytes
+            elif isinstance(a, (bytes, bytearray)):
+                us += rc.marshal_simple_array_fixed
+                simple_bytes += len(a)
+            elif isinstance(a, (Marshallable, list, tuple, dict)):
+                us += rc.marshal_array_fixed
+            else:
+                us += rc.marshal_per_arg
+        dynamic_bytes = max(0, nbytes - simple_bytes)
+        us += simple_bytes * rc.marshal_per_byte_simple
+        us += dynamic_bytes * rc.marshal_per_byte
+        return Charge(us, Category.RUNTIME)
+
+    # ------------------------------------------------------------ slot table
+
+    def _new_box(self, nid: int, mode: WaitMode) -> Generator[Any, Any, tuple[int, RMIBox]]:
+        st = self._state[nid]
+        assert st.slot_lock is not None
+        yield from st.slot_lock.acquire()
+        slot = st.next_slot
+        st.next_slot += 1
+        box = RMIBox(mode=mode)
+        if mode is WaitMode.PARK:
+            node = self.rt.cluster.nodes[nid]
+            box.lock = Lock(node, f"rmi-box-{slot}")
+            box.cond = Condition(box.lock)
+        st.slots[slot] = box
+        yield from st.slot_lock.release()
+        return slot, box
+
+    def _pop_box(self, nid: int, slot: int) -> Generator[Any, Any, RMIBox]:
+        st = self._state[nid]
+        assert st.slot_lock is not None
+        yield from st.slot_lock.acquire()
+        try:
+            box = st.slots.pop(slot)
+        except KeyError:
+            raise RuntimeStateError(f"node {nid}: reply for unknown RMI slot {slot}") from None
+        finally:
+            yield from st.slot_lock.release()
+        return box
+
+    # -------------------------------------------------------------- initiator
+
+    def invoke(
+        self,
+        ctx: Any,
+        gptr: ObjectGlobalPtr,
+        method: str,
+        args: tuple[Any, ...] = (),
+        *,
+        wait: WaitMode = WaitMode.PARK,
+    ) -> Generator[Any, Any, Any]:
+        """Call ``method`` on the remote object; returns its result.
+
+        The full path the paper costs out: stub-cache probe (3 µs),
+        argument marshalling, request transmission (short or bulk), wait
+        (spin or park), reply unmarshalling.
+        """
+        node = ctx.node
+        ep: AMEndpoint = ctx.ep
+        rc = node.costs.runtime
+        name = MethodName.of(gptr.cls, method) if gptr.cls else method
+        st = self._state[node.nid]
+        stubs = self.rt.stub_tables[node.nid]
+
+        # 1. stub cache probe, under the table lock
+        yield from stubs.lock.acquire()
+        yield Charge(rc.stub_lookup, Category.RUNTIME)
+        entry = stubs.probe(gptr.node, name) if self.rt.stub_caching else None
+        yield from stubs.lock.release()
+
+        # 2. marshal arguments into the S-buffer
+        payload, nargs = marshal_args(args)
+        yield self._marshal_charge(node, len(payload), args)
+
+        # 3. completion record
+        slot, box = yield from self._new_box(node.nid, wait)
+
+        # 4. transmit
+        cold = entry is None
+        if cold:
+            node.counters.inc(CounterNames.RMI_COLD)
+            control: tuple[Any, ...] = (slot, True, name, gptr.obj_id, None)
+            control_bytes = _RMI_CONTROL_BYTES + len(name)
+        else:
+            node.counters.inc(CounterNames.RMI_WARM)
+            control = (slot, False, entry.stub_id, gptr.obj_id, entry.rbuf_id)
+            control_bytes = _RMI_CONTROL_BYTES
+
+        assert st.comm_lock is not None
+        yield from st.comm_lock.acquire()
+        if nargs == 0:
+            yield from ep.send_short(
+                gptr.node,
+                "cc.rmi",
+                args=control,
+                data=payload,
+                nbytes=SHORT_HEADER_BYTES + control_bytes + len(payload),
+            )
+        else:
+            # any marshalled arguments ride the bulk path into the
+            # persistent R-buffer (or the static area when cold)
+            yield from ep.send_bulk(
+                gptr.node,
+                "cc.rmi",
+                args=control,
+                data=payload,
+                nbytes=BULK_HEADER_BYTES + control_bytes + len(payload),
+            )
+        yield from st.comm_lock.release()
+
+        # 5. wait for the reply
+        yield from self._await_box(ep, box)
+
+        # 6. unpack the result
+        yield Charge(rc.reply_handling, Category.RUNTIME)
+        if box.status != "ok":
+            (detail,) = unmarshal_args(box.payload)
+            raise RemoteInvocationError(name, gptr.node, str(detail))
+        if box.via_bulk:
+            # static area -> R-buffer -> CC++ object: the double copy the
+            # paper blames for BulkRead > BulkWrite (mostly fixed buffer
+            # management, plus the actual memcpy per byte)
+            yield Charge(
+                rc.bulk_reply_fixed + 2.0 * rc.copy_per_byte * len(box.payload),
+                Category.RUNTIME,
+            )
+        (result,) = unmarshal_args(box.payload)
+        yield self._marshal_charge(node, len(box.payload), (result,))
+        return result
+
+    def invoke_async(
+        self,
+        ctx: Any,
+        gptr: ObjectGlobalPtr,
+        method: str,
+        args: tuple[Any, ...] = (),
+    ) -> Generator[Any, Any, None]:
+        """One-sided RMI: transfer the data, run the method on its own
+        thread at the callee, send no reply (§1's one-sided RPC).
+        Completion must be observed through application-level
+        synchronization (sync variables, counters) — as in CC++."""
+        node = ctx.node
+        ep: AMEndpoint = ctx.ep
+        rc = node.costs.runtime
+        name = MethodName.of(gptr.cls, method) if gptr.cls else method
+        st = self._state[node.nid]
+        stubs = self.rt.stub_tables[node.nid]
+
+        yield from stubs.lock.acquire()
+        yield Charge(rc.stub_lookup, Category.RUNTIME)
+        entry = stubs.probe(gptr.node, name) if self.rt.stub_caching else None
+        yield from stubs.lock.release()
+
+        payload, nargs = marshal_args(args)
+        yield self._marshal_charge(node, len(payload), args)
+
+        cold = entry is None
+        if cold:
+            node.counters.inc(CounterNames.RMI_COLD)
+            control: tuple[Any, ...] = (None, True, name, gptr.obj_id, None)
+            control_bytes = _RMI_CONTROL_BYTES + len(name)
+        else:
+            node.counters.inc(CounterNames.RMI_WARM)
+            control = (None, False, entry.stub_id, gptr.obj_id, entry.rbuf_id)
+            control_bytes = _RMI_CONTROL_BYTES
+
+        assert st.comm_lock is not None
+        yield from st.comm_lock.acquire()
+        if nargs == 0:
+            yield from ep.send_short(
+                gptr.node, "cc.rmi", args=control, data=payload,
+                nbytes=SHORT_HEADER_BYTES + control_bytes + len(payload),
+            )
+        else:
+            yield from ep.send_bulk(
+                gptr.node, "cc.rmi", args=control, data=payload,
+                nbytes=BULK_HEADER_BYTES + control_bytes + len(payload),
+            )
+        yield from st.comm_lock.release()
+
+    def _await_box(self, ep: AMEndpoint, box: RMIBox) -> Generator[Any, Any, None]:
+        if box.mode is WaitMode.SPIN:
+            yield from ep.poll_until(lambda: box.done)
+            return
+        assert box.lock is not None and box.cond is not None
+        yield from box.lock.acquire()
+        while not box.done:
+            yield from box.cond.wait()
+        yield from box.lock.release()
+
+    def _complete_box(self, ep: AMEndpoint, box: RMIBox) -> Generator[Any, Any, None]:
+        """Mark done and wake the initiator (runs in the polling thread)."""
+        if box.mode is WaitMode.SPIN:
+            box.done = True
+            return
+        assert box.lock is not None and box.cond is not None
+        yield from box.lock.acquire()
+        box.done = True
+        yield from box.cond.signal()
+        yield from box.lock.release()
+
+    # ------------------------------------------------------------ the callee
+
+    def _h_rmi(self, ep: AMEndpoint, src: int, frame: AMFrame):
+        node = ep.node
+        rc = node.costs.runtime
+        slot, cold, key, obj_id, rbuf_id = frame.args
+        payload = frame.data
+        yield Charge(rc.rmi_dispatch, Category.RUNTIME)
+
+        stubs = self.rt.stub_tables[node.nid]
+        bufs = self.rt.buffer_managers[node.nid]
+
+        if cold or not self.rt.stub_caching:
+            # name-based resolution + stub-update back to the initiator
+            yield Charge(rc.name_resolve, Category.RUNTIME)
+            stub = stubs.resolve_name(key)
+            rbuf = None
+            if payload:
+                # data landed in the static area; copy into a fresh
+                # persistent R-buffer
+                yield from bufs.lock.acquire()
+                yield Charge(rc.buffer_alloc, Category.RUNTIME)
+                rbuf = bufs.alloc_rbuf(stub.name, src, len(payload))
+                yield from bufs.lock.release()
+                yield Charge(rc.copy_per_byte * len(payload), Category.RUNTIME)
+                rbuf.data[:] = payload
+                node.counters.inc(CounterNames.RBUF_ALLOC)
+            if self.rt.stub_caching:
+                yield from ep.send_short(
+                    src,
+                    "cc.stub_update",
+                    args=(node.nid, key, stub.stub_id, rbuf.rbuf_id if rbuf else None),
+                    nbytes=_STUB_UPDATE_BYTES + len(key),
+                )
+        else:
+            stub = stubs.by_id(key)
+            if payload and rbuf_id is not None and self.rt.persistent_buffers:
+                # warm path: sender-managed deposit, no extra copy
+                yield from bufs.lock.acquire()
+                bufs.deposit(rbuf_id, payload)
+                yield from bufs.lock.release()
+                node.counters.inc(CounterNames.RBUF_REUSE)
+            elif payload:
+                # persistent buffers disabled (ablation): pay the copy
+                # through the static area every time
+                yield Charge(rc.buffer_alloc + rc.copy_per_byte * len(payload), Category.RUNTIME)
+
+        obj = self.rt.object_table(node.nid).get(obj_id)
+
+        if stub.threaded or stub.atomic:
+            body = self._method_thread(ep, src, slot, stub, obj, payload)
+            yield from spawn(node, body, f"rmi-{stub.name}", daemon=False)
+        else:
+            # non-threaded RMI: the stub runs directly as the AM handler
+            yield from self._run_method(ep, src, slot, stub, obj, payload)
+
+    def _method_thread(self, ep, src, slot, stub, obj, payload):
+        """Body for threaded / atomic RMIs."""
+        if stub.atomic:
+            lock = self.rt.atomic_lock(obj)
+            yield from lock.acquire()
+            yield from self._run_method(ep, src, slot, stub, obj, payload)
+            yield from lock.release()
+        else:
+            yield from self._run_method(ep, src, slot, stub, obj, payload)
+
+    def _run_method(self, ep: AMEndpoint, src: int, slot: int, stub, obj, payload: bytes):
+        node = ep.node
+        rc = node.costs.runtime
+
+        args = unmarshal_args(payload) if payload else ()
+        yield self._marshal_charge(node, len(payload), args)
+
+        method_name = stub.name.rsplit("::", 1)[-1]
+        fn = getattr(obj, method_name, None)
+        if fn is None:
+            raise RuntimeStateError(
+                f"object {type(obj).__name__} on node {node.nid} has no method "
+                f"{method_name!r} (stub {stub.name})"
+            )
+        status = "ok"
+        try:
+            result = fn(*args)
+            if hasattr(result, "send") and hasattr(result, "throw"):  # generator body
+                result = yield from result
+        except RuntimeStateError:
+            raise  # runtime misuse stays fatal
+        except Exception as exc:  # application-level failure: ship it back
+            if slot is None:
+                raise  # one-sided: no reply channel, surface at the callee
+            status = "err"
+            result = f"{type(exc).__name__}: {exc}"
+
+        if slot is None:
+            return  # one-sided invocation: no reply expected
+
+        rpayload, _ = marshal_args((result,))
+        yield self._marshal_charge(node, len(rpayload), (result,))
+
+        st = self._state[node.nid]
+        assert st.comm_lock is not None
+        yield from st.comm_lock.acquire()
+        if len(rpayload) <= _SHORT_PAYLOAD_LIMIT:
+            yield from ep.send_short(
+                src,
+                "cc.reply",
+                args=(slot, status, False),
+                data=rpayload,
+                nbytes=SHORT_HEADER_BYTES + _REPLY_CONTROL_BYTES + len(rpayload),
+            )
+        else:
+            yield from ep.send_bulk(
+                src,
+                "cc.reply",
+                args=(slot, status, True),
+                data=rpayload,
+                nbytes=BULK_HEADER_BYTES + _REPLY_CONTROL_BYTES + len(rpayload),
+            )
+        yield from st.comm_lock.release()
+
+    # ---------------------------------------------------------------- replies
+
+    def _h_reply(self, ep: AMEndpoint, src: int, frame: AMFrame):
+        slot, status, via_bulk = frame.args
+        box = yield from self._pop_box(ep.node.nid, slot)
+        box.status = status
+        box.payload = frame.data
+        box.via_bulk = via_bulk
+        yield from self._complete_box(ep, box)
+
+    def _h_stub_update(self, ep: AMEndpoint, src: int, frame: AMFrame):
+        from repro.ccpp.stubs import CacheEntry
+
+        remote_node, name, stub_id, rbuf_id = frame.args
+        node = ep.node
+        stubs = self.rt.stub_tables[node.nid]
+        yield from stubs.lock.acquire()
+        yield Charge(node.costs.runtime.stub_install, Category.RUNTIME)
+        stubs.install(remote_node, name, CacheEntry(stub_id=stub_id, rbuf_id=rbuf_id))
+        yield from stubs.lock.release()
+
+    # --------------------------------------------------- GP read/write path
+
+    def gp_read(
+        self, ctx: Any, gp: DataGlobalPtr, *, wait: WaitMode = WaitMode.PARK
+    ) -> Generator[Any, Any, float]:
+        """``lx = *gpY``: optimized small-message access (Table 4 GP Read).
+
+        A local dereference still pays the CC++ global-pointer overhead —
+        the cause of em3d-base's gap at low remote fractions."""
+        node = ctx.node
+        rc = node.costs.runtime
+        if gp.node == node.nid:
+            yield Charge(rc.gp_local_access, Category.RUNTIME)
+            return ctx.mem.load_gp(gp.region, gp.offset)
+        yield Charge(rc.stub_lookup, Category.RUNTIME)
+        # value-semantics request build (2-word address + result slot)
+        yield Charge(rc.gp_remote_overhead + rc.marshal_fixed + 2 * rc.marshal_per_arg,
+                     Category.RUNTIME)
+        slot, box = yield from self._new_box(node.nid, wait)
+        st = self._state[node.nid]
+        yield from st.comm_lock.acquire()
+        yield from ctx.ep.send_short(
+            gp.node, "cc.gp_read", args=(slot, gp.region, gp.offset), nbytes=_GP_REQ_BYTES
+        )
+        yield from st.comm_lock.release()
+        yield from self._await_box(ctx.ep, box)
+        yield Charge(rc.reply_handling + rc.marshal_fixed + rc.marshal_per_arg,
+                     Category.RUNTIME)
+        return box.value
+
+    def gp_write(
+        self, ctx: Any, gp: DataGlobalPtr, value: float, *, wait: WaitMode = WaitMode.PARK
+    ) -> Generator[Any, Any, None]:
+        """``*gpY = lx`` (Table 4 GP Write)."""
+        node = ctx.node
+        rc = node.costs.runtime
+        if gp.node == node.nid:
+            yield Charge(rc.gp_local_access, Category.RUNTIME)
+            ctx.mem.store_gp(gp.region, gp.offset, value)
+            return
+        yield Charge(rc.stub_lookup, Category.RUNTIME)
+        yield Charge(rc.gp_remote_overhead + rc.marshal_fixed + 3 * rc.marshal_per_arg,
+                     Category.RUNTIME)
+        slot, box = yield from self._new_box(node.nid, wait)
+        st = self._state[node.nid]
+        yield from st.comm_lock.acquire()
+        yield from ctx.ep.send_short(
+            gp.node,
+            "cc.gp_write",
+            args=(slot, gp.region, gp.offset, value),
+            nbytes=_GP_REQ_BYTES + 8,
+        )
+        yield from st.comm_lock.release()
+        yield from self._await_box(ctx.ep, box)
+        yield Charge(rc.reply_handling, Category.RUNTIME)
+
+    def _h_gp_read(self, ep: AMEndpoint, src: int, frame: AMFrame):
+        slot, region, offset = frame.args
+        node = ep.node
+        # the dereference may touch shared object state, so it runs on a
+        # fresh thread like any RMI (Table 4 shows Create = 1 for GP R/W)
+        body = self._gp_read_thread(ep, src, slot, region, offset)
+        yield from spawn(node, body, "gp-read")
+
+    def _gp_read_thread(self, ep, src, slot, region, offset):
+        node = ep.node
+        rc = node.costs.runtime
+        yield Charge(rc.rmi_dispatch + rc.gp_remote_overhead + rc.gp_local_access,
+                     Category.RUNTIME)
+        value = self.rt.cc_memory(node.nid).load_gp(region, offset)
+        st = self._state[node.nid]
+        yield from st.comm_lock.acquire()
+        yield from ep.send_short(src, "cc.gp_val", args=(slot, value), nbytes=_GP_VAL_BYTES)
+        yield from st.comm_lock.release()
+
+    def _h_gp_write(self, ep: AMEndpoint, src: int, frame: AMFrame):
+        slot, region, offset, value = frame.args
+        body = self._gp_write_thread(ep, src, slot, region, offset, value)
+        yield from spawn(ep.node, body, "gp-write")
+
+    def _gp_write_thread(self, ep, src, slot, region, offset, value):
+        node = ep.node
+        rc = node.costs.runtime
+        yield Charge(rc.rmi_dispatch + rc.gp_remote_overhead + rc.gp_local_access,
+                     Category.RUNTIME)
+        self.rt.cc_memory(node.nid).store_gp(region, offset, value)
+        st = self._state[node.nid]
+        yield from st.comm_lock.acquire()
+        yield from ep.send_short(src, "cc.gp_ack", args=(slot,), nbytes=_GP_VAL_BYTES - 8)
+        yield from st.comm_lock.release()
+
+    def _h_gp_val(self, ep: AMEndpoint, src: int, frame: AMFrame):
+        slot, value = frame.args
+        box = yield from self._pop_box(ep.node.nid, slot)
+        box.value = value
+        yield from self._complete_box(ep, box)
+
+    def _h_gp_ack(self, ep: AMEndpoint, src: int, frame: AMFrame):
+        (slot,) = frame.args
+        box = yield from self._pop_box(ep.node.nid, slot)
+        yield from self._complete_box(ep, box)

@@ -1,0 +1,63 @@
+"""Exception hierarchy shared across the repro package.
+
+Every error raised by this package derives from :class:`ReproError` so that
+callers can catch reproduction-specific failures without masking genuine
+Python bugs (``TypeError`` etc. propagate unchanged).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was used incorrectly or reached an
+    inconsistent state (e.g. scheduling an event in the past)."""
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while simulated programs were still blocked.
+
+    Carries a human-readable diagnosis of which threads were parked where,
+    which is what you want when a barrier or reply is missing.
+    """
+
+    def __init__(self, message: str, *, blocked: list[str] | None = None):
+        super().__init__(message)
+        #: names/states of the threads still blocked at drain time
+        self.blocked: list[str] = list(blocked or [])
+
+
+class MarshalError(ReproError):
+    """Argument marshalling or unmarshalling failed (unsupported type,
+    truncated buffer, serializer mismatch...)."""
+
+
+class RuntimeStateError(ReproError):
+    """A language runtime (Split-C / CC++ / Nexus / MPL) was driven through
+    an illegal state transition, e.g. reading an unwritten sync variable
+    outside a thread context, or re-registering a method name."""
+
+
+class RemoteInvocationError(RuntimeStateError):
+    """A remote method body raised: the exception is marshalled back and
+    re-raised at the initiator (two-sided RMIs only; a one-sided RMI has
+    no reply to carry it, so its failure surfaces at the callee)."""
+
+    def __init__(self, method: str, node: int, detail: str):
+        super().__init__(f"remote method {method} on node {node} raised: {detail}")
+        self.method = method
+        self.node = node
+        self.detail = detail
+
+
+class CalibrationError(ReproError):
+    """A cost model was constructed with physically meaningless parameters
+    (negative latency, zero bandwidth...)."""
+
+
+class GlobalPointerError(RuntimeStateError):
+    """An invalid global pointer was dereferenced (unknown node, region, or
+    out-of-bounds offset)."""

@@ -1,0 +1,25 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+==========  ============================================  =====================
+artifact    content                                       module
+==========  ============================================  =====================
+Table 1     runtime source-code size comparison           :mod:`.table1`
+Table 4     communication micro-benchmarks                :mod:`.table4`
+Figure 5    EM3D per-edge breakdown (3 versions × 4       :mod:`.figure5`
+            remote-edge fractions × 2 languages)
+Figure 6    Water + LU breakdowns                         :mod:`.figure6`
+§6 text     CC++/ThAM vs CC++/Nexus (5–35×)               :mod:`.nexus_compare`
+§6 text     ablations: stub cache, persistent buffers,    :mod:`.ablations`
+            lock costs, polling
+==========  ============================================  =====================
+
+Every module exposes ``run(...)`` returning a structured result with a
+``render()`` text table, and :mod:`.paper` holds the published numbers for
+side-by-side comparison.  ``python -m repro.experiments <artifact>`` runs
+one from the command line.
+"""
+
+from repro.experiments import paper
+from repro.experiments.microbench import MicroRow
+
+__all__ = ["paper", "MicroRow"]

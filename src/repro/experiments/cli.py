@@ -1,0 +1,103 @@
+"""Command-line entry point: ``repro-experiments <artifact>``.
+
+Also usable as ``python -m repro.experiments.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the tables and figures of 'Evaluating the "
+        "Performance Limitations of MPMD Communication' (SC'97).",
+    )
+    parser.add_argument(
+        "artifact",
+        choices=[
+            "table1", "table4", "figure5", "figure6", "nexus", "ablations",
+            "scaling", "scorecard", "all",
+        ],
+        help="which paper artifact to regenerate",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="use the paper's full workload sizes (slower) instead of the "
+        "reduced same-shape defaults",
+    )
+    parser.add_argument("--iters", type=int, default=50, help="micro-benchmark iterations")
+    parser.add_argument(
+        "--out",
+        metavar="DIR",
+        help="also write rendered artifacts (and CSVs) to this directory",
+    )
+    args = parser.parse_args(argv)
+
+    if args.out:
+        from repro.experiments.report import ARTIFACTS, write_all
+
+        mapping = {"nexus": "nexus_compare"}
+        wanted = (
+            ARTIFACTS
+            if args.artifact == "all"
+            else (mapping.get(args.artifact, args.artifact),)
+        )
+        paths = write_all(
+            args.out, quick=not args.full, iters=args.iters, artifacts=wanted
+        )
+        for path in paths:
+            print(f"wrote {path}")
+        return 0
+
+    chosen = (
+        ["table1", "table4", "figure5", "figure6", "nexus", "ablations",
+         "scaling", "scorecard"]
+        if args.artifact == "all"
+        else [args.artifact]
+    )
+    for artifact in chosen:
+        t0 = time.time()
+        print(f"=== {artifact} ===")
+        if artifact == "table1":
+            from repro.experiments import table1
+
+            print(table1.run().render())
+        elif artifact == "table4":
+            from repro.experiments import table4
+
+            print(table4.run(iters=args.iters).render())
+        elif artifact == "figure5":
+            from repro.experiments import figure5
+
+            print(figure5.run(quick=not args.full).render())
+        elif artifact == "figure6":
+            from repro.experiments import figure6
+
+            print(figure6.run(quick=not args.full).render())
+        elif artifact == "nexus":
+            from repro.experiments import nexus_compare
+
+            print(nexus_compare.run(quick=not args.full).render())
+        elif artifact == "ablations":
+            from repro.experiments import ablations
+
+            print(ablations.run(iters=args.iters).render())
+        elif artifact == "scaling":
+            from repro.experiments import scaling
+
+            print(scaling.run().render())
+        elif artifact == "scorecard":
+            from repro.experiments import scorecard
+
+            print(scorecard.run(quick=not args.full, iters=args.iters).render())
+        print(f"[{artifact} done in {time.time() - t0:.1f}s wall]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,80 @@
+"""Figure 5: EM3D per-edge execution-time breakdown.
+
+Three versions × four remote-edge fractions × two languages, normalized
+per configuration against Split-C, with the five-component stacks.
+``quick=True`` (default) runs a reduced-but-same-shape graph so the whole
+figure regenerates in seconds; ``quick=False`` uses the paper's 800-node,
+degree-20 graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.apps.em3d import Em3dGraph, Em3dParams, run_ccpp_em3d, run_splitc_em3d
+from repro.experiments.breakdown import BreakdownRow, render_rows
+
+__all__ = ["Figure5Result", "run"]
+
+PCTS = (0.1, 0.4, 0.7, 1.0)
+VERSIONS = ("base", "ghost", "bulk")
+
+
+@dataclass(slots=True)
+class Figure5Result:
+    """All bars of Figure 5, keyed by (version, pct, language)."""
+
+    rows: dict[tuple[str, float, str], BreakdownRow] = field(default_factory=dict)
+    per_edge_us: dict[tuple[str, float, str], float] = field(default_factory=dict)
+
+    def ratio(self, version: str, pct: float) -> float:
+        """CC++ / Split-C per-edge time for one configuration."""
+        return (
+            self.per_edge_us[(version, pct, "ccpp")]
+            / self.per_edge_us[(version, pct, "splitc")]
+        )
+
+    def render(self) -> str:
+        ordered = [
+            self.rows[(v, pct, lang)]
+            for v in VERSIONS
+            for pct in sorted({k[1] for k in self.rows if k[0] == v})
+            for lang in ("splitc", "ccpp")
+            if (v, pct, lang) in self.rows
+        ]
+        return render_rows(
+            "Figure 5 — EM3D per-edge breakdown (normalized vs Split-C)", ordered
+        )
+
+
+def run(
+    *,
+    quick: bool = True,
+    pcts: tuple[float, ...] = PCTS,
+    versions: tuple[str, ...] = VERSIONS,
+    steps: int = 1,
+    seed: int = 1997,
+) -> Figure5Result:
+    """Regenerate Figure 5."""
+    if quick:
+        base_params = dict(n_nodes=160, degree=8, n_procs=4, seed=seed)
+    else:
+        base_params = dict(n_nodes=800, degree=20, n_procs=4, seed=seed)
+
+    result = Figure5Result()
+    for pct in pcts:
+        graph = Em3dGraph(Em3dParams(pct_remote=pct, **base_params))
+        for version in versions:
+            sc = run_splitc_em3d(graph, steps=steps, version=version, warmup_steps=1)
+            cc = run_ccpp_em3d(graph, steps=steps, version=version, warmup_steps=1)
+            for lang, res in (("splitc", sc), ("ccpp", cc)):
+                key = (version, pct, lang)
+                result.per_edge_us[key] = res.per_edge_us
+                result.rows[key] = BreakdownRow(
+                    label=f"em3d-{version} {int(pct * 100)}%",
+                    language=lang,
+                    elapsed_us=res.elapsed_us,
+                    breakdown=res.breakdown,
+                    normalized=res.elapsed_us / sc.elapsed_us,
+                )
+    return result

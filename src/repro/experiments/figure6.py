@@ -1,0 +1,82 @@
+"""Figure 6: Water and LU execution-time breakdowns.
+
+Water with 64 and 512 molecules (atomic + prefetch) and blocked LU of a
+512×512 matrix, each in both languages, normalized against Split-C.
+``quick=True`` shrinks the inputs (32/96 molecules, 128×128 matrix) while
+keeping every code path; ``quick=False`` runs the paper's sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.apps.lu import LuParams, LuWorkload, run_ccpp_lu, run_splitc_lu
+from repro.apps.water import WaterParams, WaterSystem, run_ccpp_water, run_splitc_water
+from repro.experiments.breakdown import BreakdownRow, render_rows
+
+__all__ = ["Figure6Result", "run"]
+
+
+@dataclass(slots=True)
+class Figure6Result:
+    """All bars of Figure 6, keyed by (app-label, language)."""
+
+    rows: dict[tuple[str, str], BreakdownRow] = field(default_factory=dict)
+
+    def ratio(self, label: str) -> float:
+        return (
+            self.rows[(label, "ccpp")].elapsed_us
+            / self.rows[(label, "splitc")].elapsed_us
+        )
+
+    def labels(self) -> list[str]:
+        return sorted({k[0] for k in self.rows})
+
+    def render(self) -> str:
+        ordered = []
+        for label in self.labels():
+            for lang in ("splitc", "ccpp"):
+                if (label, lang) in self.rows:
+                    ordered.append(self.rows[(label, lang)])
+        return render_rows(
+            "Figure 6 — Water and LU breakdown (normalized vs Split-C)", ordered
+        )
+
+
+def _add(result: Figure6Result, label: str, sc, cc) -> None:
+    for lang, res in (("splitc", sc), ("ccpp", cc)):
+        result.rows[(label, lang)] = BreakdownRow(
+            label=label,
+            language=lang,
+            elapsed_us=res.elapsed_us,
+            breakdown=res.breakdown,
+            normalized=res.elapsed_us / sc.elapsed_us,
+        )
+
+
+def run(
+    *,
+    quick: bool = True,
+    water_versions: tuple[str, ...] = ("atomic", "prefetch"),
+    include_lu: bool = True,
+    seed: int = 1997,
+) -> Figure6Result:
+    """Regenerate Figure 6."""
+    water_sizes = (32, 96) if quick else (64, 512)
+    lu_config = LuParams(n=128, block=16, n_procs=4, seed=seed) if quick else LuParams(
+        n=512, block=16, n_procs=4, seed=seed
+    )
+
+    result = Figure6Result()
+    for n_mol in water_sizes:
+        system = WaterSystem(WaterParams(n_molecules=n_mol, n_procs=4, steps=1, seed=seed))
+        for version in water_versions:
+            sc = run_splitc_water(system, version=version)
+            cc = run_ccpp_water(system, version=version)
+            _add(result, f"water-{version} {n_mol}", sc, cc)
+    if include_lu:
+        work = LuWorkload(lu_config)
+        sc = run_splitc_lu(work)
+        cc = run_ccpp_lu(work)
+        _add(result, f"lu {lu_config.n}", sc, cc)
+    return result

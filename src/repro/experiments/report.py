@@ -1,0 +1,78 @@
+"""One-call report generation: every artifact to a directory.
+
+``write_all(out_dir)`` regenerates each table/figure, writes the
+human-readable render (``.txt``) and, where defined, the machine-readable
+CSV (``.csv``).  Used by ``repro-experiments ... --out DIR`` and handy
+for archiving a full reproduction run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.experiments import (
+    ablations,
+    export,
+    figure5,
+    figure6,
+    nexus_compare,
+    scaling,
+    scorecard,
+    table1,
+    table4,
+)
+
+__all__ = ["write_all", "ARTIFACTS"]
+
+ARTIFACTS = (
+    "table1",
+    "table4",
+    "figure5",
+    "figure6",
+    "nexus_compare",
+    "ablations",
+    "scaling",
+    "scorecard",
+)
+
+
+def write_all(
+    out_dir: str | Path,
+    *,
+    quick: bool = True,
+    iters: int = 50,
+    artifacts: tuple[str, ...] = ARTIFACTS,
+) -> list[Path]:
+    """Regenerate ``artifacts`` into ``out_dir``; returns written paths."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+
+    def _write(name: str, text: str) -> None:
+        path = out / name
+        path.write_text(text if text.endswith("\n") else text + "\n", encoding="utf-8")
+        written.append(path)
+
+    if "table1" in artifacts:
+        _write("table1.txt", table1.run().render())
+    if "table4" in artifacts:
+        result = table4.run(iters=iters)
+        _write("table4.txt", result.render())
+        _write("table4.csv", export.table4_csv(result))
+    if "figure5" in artifacts:
+        result = figure5.run(quick=quick)
+        _write("figure5.txt", result.render())
+        _write("figure5.csv", export.figure5_csv(result))
+    if "figure6" in artifacts:
+        result = figure6.run(quick=quick)
+        _write("figure6.txt", result.render())
+        _write("figure6.csv", export.figure6_csv(result))
+    if "nexus_compare" in artifacts:
+        _write("nexus_compare.txt", nexus_compare.run(quick=quick).render())
+    if "ablations" in artifacts:
+        _write("ablations.txt", ablations.run(iters=iters).render())
+    if "scaling" in artifacts:
+        _write("scaling.txt", scaling.run().render())
+    if "scorecard" in artifacts:
+        _write("scorecard.txt", scorecard.run(quick=quick, iters=iters).render())
+    return written

@@ -1,0 +1,138 @@
+"""Table 1: runtime source-code size comparison.
+
+The paper's Table 1 contrasts the old stack (Nexus v3.0: 39 226 .C +
+6 552 .H lines, plus 1 936 + 1 366 lines of CC++ glue) with the new one
+(ThAM: 1 155 + 726, plus 2 682 + 1 346 of CC++ runtime) — a ~12×
+reduction in runtime code.
+
+The faithful analog here is the size of this repository's runtime
+layers.  ``run()`` counts the lines of each subsystem (total and
+code-only, i.e. stripped of blanks, comments and docstrings) and renders
+them next to the paper's numbers.  Because our Nexus baseline *reuses*
+the CC++ engine with a heavyweight cost profile instead of reimplementing
+39 kLoC of portability layers, the paper's reduction factor is quoted
+rather than reproduced — the lean-runtime claim itself is what the rest
+of the harness measures.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.util.tables import TextTable
+
+__all__ = ["CodeSize", "Table1Result", "count_file", "count_package", "run"]
+
+#: subsystem -> package directories, relative to the repro package root
+SUBSYSTEMS: dict[str, tuple[str, ...]] = {
+    "substrate (sim+machine+threads)": ("sim", "machine", "threads"),
+    "Active Messages (ThAM analog)": ("am", "marshal"),
+    "CC++ runtime": ("ccpp",),
+    "Split-C runtime": ("splitc",),
+    "Nexus baseline (profile reuse)": ("nexus",),
+    "MPL layer": ("mpl",),
+}
+
+
+@dataclass(slots=True)
+class CodeSize:
+    """Line counts for one subsystem."""
+
+    total_lines: int = 0
+    code_lines: int = 0
+    files: int = 0
+
+    def add(self, other: "CodeSize") -> None:
+        self.total_lines += other.total_lines
+        self.code_lines += other.code_lines
+        self.files += other.files
+
+
+def count_file(path: Path) -> CodeSize:
+    """Count total and code-only lines of one Python file.
+
+    Code-only strips blank lines, ``#`` comments, and string statements
+    that are docstrings (module/class/function leading strings).
+    """
+    text = path.read_text(encoding="utf-8")
+    total = text.count("\n") + (1 if text and not text.endswith("\n") else 0)
+
+    skip: set[int] = set()
+    lines = text.splitlines()
+    # comment-only lines via the tokenizer (a trailing comment after code
+    # does not disqualify the line)
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(text).readline):
+            if tok.type == tokenize.COMMENT:
+                lineno, col = tok.start
+                if not lines[lineno - 1][:col].strip():
+                    skip.add(lineno)
+    except tokenize.TokenError:  # pragma: no cover - malformed source
+        pass
+    for lineno, line in enumerate(lines, 1):
+        if not line.strip():
+            skip.add(lineno)
+    # docstrings via the AST
+    try:
+        tree = ast.parse(text)
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.Module, ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)):
+                body = getattr(node, "body", [])
+                if body and isinstance(body[0], ast.Expr) and isinstance(
+                    body[0].value, ast.Constant
+                ) and isinstance(body[0].value.value, str):
+                    for ln in range(body[0].lineno, body[0].end_lineno + 1):
+                        skip.add(ln)
+    except SyntaxError:  # pragma: no cover - malformed source
+        pass
+
+    code = sum(1 for ln in range(1, total + 1) if ln not in skip)
+    return CodeSize(total_lines=total, code_lines=code, files=1)
+
+
+def count_package(root: Path) -> CodeSize:
+    """Aggregate counts over every ``.py`` file under ``root``."""
+    out = CodeSize()
+    for path in sorted(root.rglob("*.py")):
+        out.add(count_file(path))
+    return out
+
+
+@dataclass(slots=True)
+class Table1Result:
+    """Measured subsystem sizes."""
+
+    sizes: dict[str, CodeSize] = field(default_factory=dict)
+
+    def render(self) -> str:
+        t = TextTable(
+            ["subsystem", "files", "total lines", "code lines"],
+            title="Table 1 — runtime source size (this reproduction)",
+        )
+        for name, size in self.sizes.items():
+            t.add_row([name, size.files, size.total_lines, size.code_lines])
+        lines = [t.render(), ""]
+        lines.append("Paper's Table 1 (C/C++ lines, for reference):")
+        lines.append("  CC++ v0.4 w/ Nexus : Nexus 39226 .C + 6552 .H; CC++ glue 1936 + 1366")
+        lines.append("  CC++ v0.4 w/ ThAM  : ThAM   1155 .C +  726 .H; CC++ rt   2682 + 1346")
+        lines.append("  (a ~12x runtime-code reduction; our Nexus baseline reuses the")
+        lines.append("   CC++ engine with a heavyweight cost profile, so the reduction")
+        lines.append("   is quoted, not re-measured)")
+        return "\n".join(lines)
+
+
+def run(package_root: Path | None = None) -> Table1Result:
+    """Regenerate the code-size table from this repository's sources."""
+    if package_root is None:
+        package_root = Path(__file__).resolve().parent.parent
+    result = Table1Result()
+    for name, pkgs in SUBSYSTEMS.items():
+        agg = CodeSize()
+        for pkg in pkgs:
+            agg.add(count_package(package_root / pkg))
+        result.sizes[name] = agg
+    return result

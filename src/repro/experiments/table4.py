@@ -1,0 +1,93 @@
+"""Table 4: the communication micro-benchmarks.
+
+``run()`` executes every CC++ and Split-C micro-benchmark plus the raw AM
+and MPL round-trip references, and returns a :class:`Table4Result` whose
+``render()`` mirrors the paper's layout with the published numbers
+alongside for comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments import paper
+from repro.experiments.microbench import (
+    CC_BENCHMARKS,
+    SC_BENCHMARKS,
+    MicroRow,
+    am_base_rtt,
+    mpl_rtt,
+    run_cc_microbench,
+    run_sc_microbench,
+)
+from repro.util.tables import TextTable
+
+__all__ = ["Table4Result", "run"]
+
+
+@dataclass(slots=True)
+class Table4Result:
+    """Measured Table 4, with the raw-layer references."""
+
+    cc: dict[str, MicroRow] = field(default_factory=dict)
+    sc: dict[str, MicroRow] = field(default_factory=dict)
+    am_rtt_us: float = 0.0
+    mpl_rtt_us: float = 0.0
+
+    def render(self) -> str:
+        t = TextTable(
+            [
+                "Benchmark",
+                "CC++ total",
+                "(paper)",
+                "AM",
+                "threads",
+                "runtime",
+                "yield",
+                "create",
+                "sync",
+                "SC total",
+                "(paper)",
+            ],
+            title="Table 4 — micro-benchmarks (virtual us, per iteration)",
+        )
+        for name, ref in paper.TABLE4.items():
+            cc = self.cc.get(name)
+            sc = self.sc.get(name)
+            t.add_row(
+                [
+                    name,
+                    f"{cc.total_us:.1f}" if cc else "-",
+                    f"{ref.cc_total:.0f}",
+                    f"{cc.am_us:.1f}" if cc else "-",
+                    f"{cc.threads_us:.1f}" if cc else "-",
+                    f"{cc.runtime_us:.1f}" if cc else "-",
+                    f"{cc.yields:.1f}" if cc else "-",
+                    f"{cc.creates:.1f}" if cc else "-",
+                    f"{cc.syncs:.1f}" if cc else "-",
+                    f"{sc.total_us:.1f}" if sc else "-",
+                    f"{ref.sc_total:.0f}" if ref.sc_total else "-",
+                ]
+            )
+        t.add_separator()
+        t.add_row(
+            ["AM base RTT", f"{self.am_rtt_us:.1f}", f"{paper.AM_BASE_RTT_US:.0f}"]
+            + ["-"] * 8
+        )
+        t.add_row(
+            ["IBM MPL RTT", f"{self.mpl_rtt_us:.1f}", f"{paper.MPL_RTT_US:.0f}"]
+            + ["-"] * 8
+        )
+        return t.render()
+
+
+def run(*, iters: int = 50) -> Table4Result:
+    """Regenerate Table 4."""
+    result = Table4Result()
+    for name in CC_BENCHMARKS:
+        result.cc[name] = run_cc_microbench(name, iters=iters)
+    for name in SC_BENCHMARKS:
+        result.sc[name] = run_sc_microbench(name, iters=iters)
+    result.am_rtt_us = am_base_rtt(iters=iters)
+    result.mpl_rtt_us = mpl_rtt(iters=iters)
+    return result

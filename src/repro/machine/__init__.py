@@ -1,0 +1,36 @@
+"""The simulated multicomputer (stand-in for the paper's IBM RS/6000 SP).
+
+* :mod:`repro.machine.costs` — calibrated cost models (virtual µs).
+* :mod:`repro.machine.node` — a processing node: CPU time accounting,
+  message inbox, attachment points for the scheduler and runtimes.
+* :mod:`repro.machine.network` — the interconnect: latency + bandwidth,
+  deterministic in-order delivery per (src, dst) pair.
+* :mod:`repro.machine.cluster` — builds a ready-to-run machine.
+"""
+
+from repro.machine.cluster import Cluster
+from repro.machine.costs import (
+    MPL_COSTS,
+    NEXUS_COSTS,
+    SP2_COSTS,
+    CostModel,
+    NetworkCosts,
+    RuntimeCosts,
+    ThreadCosts,
+)
+from repro.machine.network import Network, Packet
+from repro.machine.node import Node
+
+__all__ = [
+    "Cluster",
+    "CostModel",
+    "ThreadCosts",
+    "NetworkCosts",
+    "RuntimeCosts",
+    "SP2_COSTS",
+    "NEXUS_COSTS",
+    "MPL_COSTS",
+    "Network",
+    "Packet",
+    "Node",
+]

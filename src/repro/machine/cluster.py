@@ -1,0 +1,123 @@
+"""Cluster builder: one call to get a runnable simulated multicomputer."""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from typing import Any
+
+from repro.errors import DeadlockError, SimulationError
+from repro.machine.costs import SP2_COSTS, CostModel
+from repro.machine.network import Network
+from repro.machine.node import Node
+from repro.sim.account import Counters, TimeAccount
+from repro.sim.engine import Simulator
+from repro.sim.trace import Tracer
+from repro.threads.scheduler import Scheduler
+from repro.threads.thread import UThread
+
+__all__ = ["Cluster"]
+
+
+class Cluster:
+    """A simulator + network + ``n`` nodes with schedulers attached.
+
+    Typical use::
+
+        cluster = Cluster(4)
+        cluster.launch(0, my_program(cluster.nodes[0]))
+        cluster.run()
+        print(cluster.sim.now, "virtual us elapsed")
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        *,
+        costs: CostModel = SP2_COSTS,
+        tracer: Tracer | None = None,
+    ):
+        if n_nodes < 1:
+            raise SimulationError(f"cluster needs >= 1 node, got {n_nodes}")
+        costs.validate()
+        self.costs = costs
+        self.sim = Simulator()
+        self.network = Network(self.sim, tracer=tracer)
+        self.nodes: list[Node] = []
+        for nid in range(n_nodes):
+            node = Node(nid, self.sim, costs, tracer=tracer)
+            self.network.register(node)
+            Scheduler(node)
+            self.nodes.append(node)
+
+    @property
+    def size(self) -> int:
+        return len(self.nodes)
+
+    # ---------------------------------------------------------------- running
+
+    def launch(
+        self,
+        nid: int,
+        body: Generator[Any, Any, Any],
+        name: str = "",
+        *,
+        daemon: bool = False,
+    ) -> UThread:
+        """Create a thread on node ``nid`` at time zero (no creation charge;
+        this is program startup, not a simulated ``spawn``)."""
+        node = self.network.node(nid)
+        assert node.scheduler is not None
+        return node.scheduler.make_thread(body, name or f"main@{nid}", daemon=daemon)
+
+    def run(
+        self,
+        *,
+        until: float | None = None,
+        max_events: int | None = None,
+        check_deadlock: bool = True,
+    ) -> float:
+        """Run to quiescence (or ``until``); returns the final virtual time.
+
+        After a full drain, any live non-daemon thread still blocked means
+        the simulated program deadlocked (lost reply, missing barrier
+        partner...) — raise :class:`DeadlockError` with a per-thread
+        diagnosis instead of silently returning.
+        """
+        self.sim.run(until=until, max_events=max_events)
+        if check_deadlock and until is None:
+            self._check_deadlock()
+        return self.sim.now
+
+    def _check_deadlock(self) -> None:
+        stuck: list[str] = []
+        for node in self.nodes:
+            sched = node.scheduler
+            assert sched is not None
+            for thr in sched.blocked_threads():
+                if not thr.daemon:
+                    stuck.append(f"node {node.nid}: {thr.name} [{thr.state.value}]")
+        if stuck:
+            raise DeadlockError(
+                "simulation drained with blocked non-daemon threads:\n  "
+                + "\n  ".join(stuck),
+                blocked=stuck,
+            )
+
+    # ------------------------------------------------------------- aggregates
+
+    def aggregate_account(self) -> TimeAccount:
+        """Sum of all per-node time accounts (for breakdown figures)."""
+        total = TimeAccount()
+        for node in self.nodes:
+            total.merge(node.account)
+        return total
+
+    def aggregate_counters(self) -> Counters:
+        """Sum of all per-node counters."""
+        total = Counters()
+        for node in self.nodes:
+            total.merge(node.counters)
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Cluster n={self.size} costs={self.costs.name} t={self.sim.now:.1f}us>"

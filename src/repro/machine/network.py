@@ -1,0 +1,112 @@
+"""The interconnect.
+
+Models the SP's switch as a fixed per-packet latency plus a per-byte
+serialization cost, with a separate (cheaper) per-byte rate for the bulk
+DMA path.  Delivery is deterministic and FIFO per (source, destination)
+pair — the engine's tie-break guarantees it, and a property test checks it.
+
+The network charges **no CPU**: sender- and receiver-side CPU overheads are
+charged by the messaging layers (:mod:`repro.am`, :mod:`repro.mpl`), which
+is exactly the split the paper's AM column vs runtime columns reflect.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import SimulationError
+from repro.sim.account import CounterNames
+from repro.sim.engine import Simulator
+from repro.sim.trace import NullTracer, Tracer
+
+__all__ = ["Packet", "Network"]
+
+_packet_ids = itertools.count()
+
+
+@dataclass(slots=True)
+class Packet:
+    """One message in flight or in an inbox.
+
+    ``kind`` is a free-form tag used by the receiving layer to route the
+    packet to the right handler ('am.short', 'am.bulk', 'mpl', ...).
+    ``payload`` is opaque to the network (the messaging layers put marshalled
+    bytes or structured records here).
+    """
+
+    src: int
+    dst: int
+    kind: str
+    payload: Any
+    nbytes: int
+    send_time: float = 0.0
+    arrival_time: float = 0.0
+    pid: int = field(default_factory=lambda: next(_packet_ids))
+
+    def describe(self) -> str:
+        return f"{self.kind}#{self.pid} {self.src}->{self.dst} ({self.nbytes}B)"
+
+
+class Network:
+    """Connects the nodes of one cluster."""
+
+    def __init__(self, sim: Simulator, *, tracer: Tracer | None = None):
+        self.sim = sim
+        self.tracer: Tracer = tracer if tracer is not None else NullTracer()
+        self._nodes: dict[int, Any] = {}
+        #: total packets ever injected (instrumentation)
+        self.packets_sent = 0
+        self.packets_delivered = 0
+        self.bytes_carried = 0
+
+    def register(self, node: Any) -> None:
+        """Add a node to the fabric (done by the cluster builder)."""
+        if node.nid in self._nodes:
+            raise SimulationError(f"node {node.nid} already on the network")
+        self._nodes[node.nid] = node
+
+    @property
+    def size(self) -> int:
+        return len(self._nodes)
+
+    def node(self, nid: int) -> Any:
+        try:
+            return self._nodes[nid]
+        except KeyError:
+            raise SimulationError(f"no node {nid} on this network") from None
+
+    def transmit(self, packet: Packet, *, bulk: bool = False) -> None:
+        """Inject ``packet``; it is delivered to the destination inbox after
+        the wire time computed from the source node's cost model.
+
+        Loopback (src == dst) is legal and still pays the wire: the paper's
+        runtimes treat local AMs uniformly, and so do we.
+        """
+        src = self.node(packet.src)
+        dst = self.node(packet.dst)
+        net_costs = src.costs.net
+        wire = (
+            net_costs.bulk_wire_time(packet.nbytes)
+            if bulk
+            else net_costs.short_wire_time(packet.nbytes)
+        )
+        packet.send_time = self.sim.now
+        packet.arrival_time = self.sim.now + wire
+        self.packets_sent += 1
+        self.bytes_carried += packet.nbytes
+        src.counters.inc(CounterNames.BYTES_SENT, packet.nbytes)
+        self.tracer.record(self.sim.now, packet.src, "send", packet.describe())
+
+        def _arrive() -> None:
+            self.packets_delivered += 1
+            dst.deliver(packet)
+
+        self.sim.schedule(wire, _arrive)
+
+    def quiescent(self) -> bool:
+        """True when nothing is in flight and every inbox is empty."""
+        if self.packets_sent != self.packets_delivered:
+            return False
+        return all(not n.has_mail for n in self._nodes.values())

@@ -1,0 +1,33 @@
+"""Argument marshalling.
+
+CC++ RMI arguments are passed **by value** between address spaces; this
+package provides the real byte-level serialization the simulated runtimes
+use (so unmarshalling bugs are actual bugs, not cost-model artifacts),
+plus size metadata the runtimes use to charge per-byte marshalling costs.
+
+* :mod:`repro.marshal.packer` — typed little-endian byte streams.
+* :mod:`repro.marshal.serialize` — tagged object serialization with a
+  registry for user classes (the paper's "each object defines its own
+  serialization methods").
+"""
+
+from repro.marshal.packer import Packer, Unpacker
+from repro.marshal.serialize import (
+    Marshallable,
+    marshal_args,
+    pack_object,
+    register_serializer,
+    unmarshal_args,
+    unpack_object,
+)
+
+__all__ = [
+    "Packer",
+    "Unpacker",
+    "Marshallable",
+    "pack_object",
+    "unpack_object",
+    "marshal_args",
+    "unmarshal_args",
+    "register_serializer",
+]

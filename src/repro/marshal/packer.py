@@ -1,0 +1,148 @@
+"""Typed byte streams (little-endian, fixed-width).
+
+The wire format is deliberately dumb: fixed-width scalars, length-prefixed
+blobs.  :class:`Unpacker` validates every read against the remaining
+buffer so truncation surfaces as :class:`~repro.errors.MarshalError`, not
+a silent wrong answer.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.errors import MarshalError
+
+__all__ = ["Packer", "Unpacker"]
+
+_U8 = struct.Struct("<B")
+_U32 = struct.Struct("<I")
+_I64 = struct.Struct("<q")
+_F64 = struct.Struct("<d")
+
+
+class Packer:
+    """Append-only byte stream builder."""
+
+    __slots__ = ("_buf",)
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    # ------------------------------------------------------------- scalars
+
+    def put_u8(self, v: int) -> "Packer":
+        if not 0 <= v <= 0xFF:
+            raise MarshalError(f"u8 out of range: {v}")
+        self._buf += _U8.pack(v)
+        return self
+
+    def put_u32(self, v: int) -> "Packer":
+        if not 0 <= v <= 0xFFFFFFFF:
+            raise MarshalError(f"u32 out of range: {v}")
+        self._buf += _U32.pack(v)
+        return self
+
+    def put_i64(self, v: int) -> "Packer":
+        if not -(2**63) <= v < 2**63:
+            raise MarshalError(f"i64 out of range: {v}")
+        self._buf += _I64.pack(v)
+        return self
+
+    def put_f64(self, v: float) -> "Packer":
+        self._buf += _F64.pack(v)
+        return self
+
+    # --------------------------------------------------------------- blobs
+
+    def put_bytes(self, b: bytes | bytearray | memoryview) -> "Packer":
+        """Length-prefixed raw bytes."""
+        self.put_u32(len(b))
+        self._buf += b
+        return self
+
+    def put_str(self, s: str) -> "Packer":
+        return self.put_bytes(s.encode("utf-8"))
+
+    def put_ndarray(self, a: np.ndarray) -> "Packer":
+        """dtype + shape + C-order raw data."""
+        self.put_str(a.dtype.str)
+        self.put_u8(a.ndim)
+        for dim in a.shape:
+            self.put_u32(dim)
+        self.put_bytes(np.ascontiguousarray(a).tobytes())
+        return self
+
+    # ---------------------------------------------------------------- final
+
+    def getvalue(self) -> bytes:
+        return bytes(self._buf)
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+
+class Unpacker:
+    """Sequential reader over bytes produced by :class:`Packer`."""
+
+    __slots__ = ("_buf", "_pos")
+
+    def __init__(self, data: bytes | bytearray | memoryview):
+        self._buf = memoryview(bytes(data))
+        self._pos = 0
+
+    def _take(self, n: int) -> memoryview:
+        if self._pos + n > len(self._buf):
+            raise MarshalError(
+                f"buffer underrun: need {n} bytes at offset {self._pos}, "
+                f"have {len(self._buf) - self._pos}"
+            )
+        chunk = self._buf[self._pos : self._pos + n]
+        self._pos += n
+        return chunk
+
+    # ------------------------------------------------------------- scalars
+
+    def get_u8(self) -> int:
+        return _U8.unpack(self._take(1))[0]
+
+    def get_u32(self) -> int:
+        return _U32.unpack(self._take(4))[0]
+
+    def get_i64(self) -> int:
+        return _I64.unpack(self._take(8))[0]
+
+    def get_f64(self) -> float:
+        return _F64.unpack(self._take(8))[0]
+
+    # --------------------------------------------------------------- blobs
+
+    def get_bytes(self) -> bytes:
+        n = self.get_u32()
+        return bytes(self._take(n))
+
+    def get_str(self) -> str:
+        return self.get_bytes().decode("utf-8")
+
+    def get_ndarray(self) -> np.ndarray:
+        dtype = np.dtype(self.get_str())
+        ndim = self.get_u8()
+        shape = tuple(self.get_u32() for _ in range(ndim))
+        raw = self.get_bytes()
+        expect = int(np.prod(shape)) * dtype.itemsize if shape else dtype.itemsize
+        if len(raw) != expect and shape:
+            raise MarshalError(
+                f"ndarray payload is {len(raw)} bytes, expected {expect} "
+                f"for shape {shape} dtype {dtype}"
+            )
+        return np.frombuffer(raw, dtype=dtype).reshape(shape).copy()
+
+    # ---------------------------------------------------------------- state
+
+    @property
+    def remaining(self) -> int:
+        return len(self._buf) - self._pos
+
+    def done(self) -> bool:
+        return self._pos == len(self._buf)

@@ -1,0 +1,194 @@
+"""Tagged object serialization.
+
+Supports the CC++ argument model: arbitrary objects may cross address
+spaces, each class providing its own serialization (here: registered
+pack/unpack functions or a :class:`Marshallable` mixin).  Built-in support
+covers ``None``, ``bool``, ``int``, ``float``, ``str``, ``bytes``,
+``tuple``/``list``/``dict`` and NumPy arrays.
+
+This is *deep copy by value* — strictly more powerful than Split-C's
+shallow global memory accesses, and correspondingly more expensive: the
+runtimes charge per-argument and per-byte marshalling costs using the
+sizes this module reports.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import Any
+
+import numpy as np
+
+from repro.errors import MarshalError
+from repro.marshal.packer import Packer, Unpacker
+
+__all__ = [
+    "Marshallable",
+    "register_serializer",
+    "pack_object",
+    "unpack_object",
+    "marshal_args",
+    "unmarshal_args",
+]
+
+# wire tags
+_T_NONE = 0
+_T_BOOL = 1
+_T_INT = 2
+_T_FLOAT = 3
+_T_STR = 4
+_T_BYTES = 5
+_T_TUPLE = 6
+_T_LIST = 7
+_T_DICT = 8
+_T_NDARRAY = 9
+_T_CUSTOM = 10
+
+
+class Marshallable:
+    """Mixin for user classes that cross address spaces by value.
+
+    Subclasses implement :meth:`cc_pack` and :meth:`cc_unpack` and must be
+    registered on every node's program image (done automatically the first
+    time an instance is packed).
+    """
+
+    def cc_pack(self, p: Packer) -> None:
+        raise NotImplementedError
+
+    @classmethod
+    def cc_unpack(cls, u: Unpacker) -> "Marshallable":
+        raise NotImplementedError
+
+
+# registry: type name -> (class-or-packfn, unpackfn)
+_custom: dict[str, tuple[Callable[[Any, Packer], None], Callable[[Unpacker], Any]]] = {}
+
+
+def register_serializer(
+    name: str,
+    pack: Callable[[Any, Packer], None],
+    unpack: Callable[[Unpacker], Any],
+    *,
+    replace: bool = False,
+) -> None:
+    """Register pack/unpack functions for a custom wire-type ``name``."""
+    if name in _custom and not replace:
+        raise MarshalError(f"serializer {name!r} already registered")
+    _custom[name] = (pack, unpack)
+
+
+def _ensure_marshallable_registered(obj: Marshallable) -> str:
+    name = type(obj).__qualname__
+    if name not in _custom:
+        cls = type(obj)
+        register_serializer(name, lambda o, p: o.cc_pack(p), cls.cc_unpack)
+    return name
+
+
+def pack_object(p: Packer, obj: Any) -> None:
+    """Serialize one object (recursively) into ``p``."""
+    if obj is None:
+        p.put_u8(_T_NONE)
+    elif isinstance(obj, bool):  # before int: bool is an int subclass
+        p.put_u8(_T_BOOL).put_u8(1 if obj else 0)
+    elif isinstance(obj, (int, np.integer)):
+        p.put_u8(_T_INT).put_i64(int(obj))
+    elif isinstance(obj, (float, np.floating)):
+        p.put_u8(_T_FLOAT).put_f64(float(obj))
+    elif isinstance(obj, str):
+        p.put_u8(_T_STR).put_str(obj)
+    elif isinstance(obj, (bytes, bytearray, memoryview)):
+        p.put_u8(_T_BYTES).put_bytes(obj)
+    elif isinstance(obj, tuple):
+        p.put_u8(_T_TUPLE).put_u32(len(obj))
+        for item in obj:
+            pack_object(p, item)
+    elif isinstance(obj, list):
+        p.put_u8(_T_LIST).put_u32(len(obj))
+        for item in obj:
+            pack_object(p, item)
+    elif isinstance(obj, dict):
+        p.put_u8(_T_DICT).put_u32(len(obj))
+        for k, v in obj.items():
+            pack_object(p, k)
+            pack_object(p, v)
+    elif isinstance(obj, np.ndarray):
+        p.put_u8(_T_NDARRAY)
+        p.put_ndarray(obj)
+    elif isinstance(obj, Marshallable):
+        name = _ensure_marshallable_registered(obj)
+        p.put_u8(_T_CUSTOM).put_str(name)
+        _custom[name][0](obj, p)
+    else:
+        raise MarshalError(
+            f"cannot marshal {type(obj).__qualname__}: register a serializer "
+            "or derive from Marshallable"
+        )
+
+
+def unpack_object(u: Unpacker) -> Any:
+    """Inverse of :func:`pack_object`."""
+    tag = u.get_u8()
+    if tag == _T_NONE:
+        return None
+    if tag == _T_BOOL:
+        return bool(u.get_u8())
+    if tag == _T_INT:
+        return u.get_i64()
+    if tag == _T_FLOAT:
+        return u.get_f64()
+    if tag == _T_STR:
+        return u.get_str()
+    if tag == _T_BYTES:
+        return u.get_bytes()
+    if tag == _T_TUPLE:
+        n = u.get_u32()
+        return tuple(unpack_object(u) for _ in range(n))
+    if tag == _T_LIST:
+        n = u.get_u32()
+        return [unpack_object(u) for _ in range(n)]
+    if tag == _T_DICT:
+        n = u.get_u32()
+        out = {}
+        for _ in range(n):
+            k = unpack_object(u)
+            out[k] = unpack_object(u)
+        return out
+    if tag == _T_NDARRAY:
+        return u.get_ndarray()
+    if tag == _T_CUSTOM:
+        name = u.get_str()
+        try:
+            return _custom[name][1](u)
+        except KeyError:
+            raise MarshalError(f"no serializer registered for {name!r}") from None
+    raise MarshalError(f"unknown wire tag {tag}")
+
+
+def marshal_args(args: tuple[Any, ...]) -> tuple[bytes, int]:
+    """Serialize a positional argument tuple.
+
+    Returns ``(payload, n_args)``; the runtime charges marshalling cost as
+    ``marshal_fixed + n_args * marshal_per_arg + len(payload) *
+    marshal_per_byte``.
+    """
+    if not args:
+        return b"", 0  # a true 0-word message: no marshalled payload at all
+    p = Packer()
+    p.put_u32(len(args))
+    for a in args:
+        pack_object(p, a)
+    return p.getvalue(), len(args)
+
+
+def unmarshal_args(payload: bytes) -> tuple[Any, ...]:
+    """Inverse of :func:`marshal_args`."""
+    if not payload:
+        return ()
+    u = Unpacker(payload)
+    n = u.get_u32()
+    args = tuple(unpack_object(u) for _ in range(n))
+    if not u.done():
+        raise MarshalError(f"{u.remaining} trailing bytes after {n} arguments")
+    return args

@@ -1,0 +1,15 @@
+"""IBM MPL: the SP's native two-sided message layer.
+
+Table 4's caption quotes MPL's round-trip latency (88 µs under AIX 3.2.5)
+as the vendor reference point the new CC++ runtime beats.  This package
+implements a minimal two-sided matched send/recv layer with MPL-like
+costs: heavier per-message software overhead than AM (tag matching,
+copies through the message subsystem), same wire.
+
+MPL owns the node inbox while installed — install exactly one messaging
+layer (AM *or* MPL) per cluster.
+"""
+
+from repro.mpl.layer import MPLEndpoint, install_mpl
+
+__all__ = ["MPLEndpoint", "install_mpl"]

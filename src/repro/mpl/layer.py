@@ -1,0 +1,91 @@
+"""Two-sided matched send/recv with MPL-like costs."""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Generator
+from typing import Any
+
+from repro.errors import RuntimeStateError
+from repro.machine.network import Network, Packet
+from repro.sim.account import Category, CounterNames
+from repro.sim.effects import Charge, WaitInbox
+
+__all__ = ["MPLEndpoint", "install_mpl"]
+
+KIND_MPL = "mpl"
+_HEADER_BYTES = 24  # src/dst/tag/len envelope
+
+
+class MPLEndpoint:
+    """Per-node MPL interface: tag-matched blocking send/recv."""
+
+    SERVICE = "mpl"
+
+    def __init__(self, node: Any, network: Network):
+        self.node = node
+        self.network = network
+        #: (src, tag) -> queue of payloads, FIFO per matching key
+        self._matched: dict[tuple[int, int], deque[Any]] = {}
+        node.attach(self.SERVICE, self)
+        # exclusive claim on the node's inbox: exactly one messaging layer
+        node.attach("msg-layer", self)
+
+    # ----------------------------------------------------------------- sends
+
+    def send(
+        self, dst: int, tag: int, value: Any, *, nbytes: int | None = None
+    ) -> Generator[Any, Any, None]:
+        """Asynchronous-buffered send (``mpc_bsend``-like): charges the
+        sender-side software overhead and returns once injected."""
+        if tag < 0:
+            raise RuntimeStateError(f"negative MPL tag {tag}")
+        size = nbytes if nbytes is not None else _HEADER_BYTES
+        self.node.counters.inc(CounterNames.MSG_SHORT)
+        yield Charge(self.node.costs.net.mpl_send_cpu, Category.NET)
+        self.network.transmit(
+            Packet(
+                src=self.node.nid,
+                dst=dst,
+                kind=KIND_MPL,
+                payload=(tag, value),
+                nbytes=size,
+            )
+        )
+
+    # ------------------------------------------------------------------ recv
+
+    def _drain_inbox(self) -> None:
+        """Move delivered packets into the tag-match table (free: matching
+        cost is charged per successful receive)."""
+        while self.node.inbox:
+            pkt = self.node.inbox.popleft()
+            if pkt.kind != KIND_MPL:
+                raise RuntimeStateError(
+                    f"MPL endpoint saw foreign packet kind {pkt.kind!r}; install "
+                    "one messaging layer per cluster"
+                )
+            tag, value = pkt.payload
+            self._matched.setdefault((pkt.src, tag), deque()).append(value)
+
+    def recv(self, src: int, tag: int) -> Generator[Any, Any, Any]:
+        """Blocking matched receive from ``src`` with ``tag``."""
+        key = (src, tag)
+        while True:
+            self._drain_inbox()
+            q = self._matched.get(key)
+            if q:
+                yield Charge(self.node.costs.net.mpl_recv_cpu, Category.NET)
+                return q.popleft()
+            yield WaitInbox()
+
+    def probe(self, src: int, tag: int) -> bool:
+        """Non-blocking: is a matching message already here?"""
+        self._drain_inbox()
+        q = self._matched.get((src, tag))
+        return bool(q)
+
+
+def install_mpl(cluster: Any) -> list[MPLEndpoint]:
+    """One MPL endpoint per node, in node order."""
+    return [MPLEndpoint(node, cluster.network) for node in cluster.nodes]

@@ -1,0 +1,22 @@
+"""CC++ v0.4 on Nexus v3.0 — the heavyweight baseline (§6, footnote 2).
+
+The paper's old CC++ implementation is layered on Nexus, a portable
+multithreading+communication runtime, configured with **TCP/IP over the
+SP switch** (they could not get MPL working under Nexus).  Relative to
+ThAM it pays:
+
+* kernel-crossing socket costs on every message (hundreds of µs),
+* preemptive pthread-like thread operations (create ≈ 120 µs),
+* string-keyed handler resolution on *every* invocation (no stub cache),
+* fresh buffer allocation and extra protocol-layer copies on every
+  message (no persistent buffers).
+
+We model this by running the *same* CC++ runtime code on the
+:data:`~repro.machine.costs.NEXUS_COSTS` profile with both ThAM
+optimizations disabled — so the 5–35× comparison isolates exactly the
+cost differences the paper attributes, on identical application code.
+"""
+
+from repro.nexus.runtime import NexusCCppRuntime, make_nexus_runtime
+
+__all__ = ["NexusCCppRuntime", "make_nexus_runtime"]

@@ -1,0 +1,29 @@
+"""Deterministic discrete-event simulation core.
+
+Everything in the simulated machine — node CPUs, the interconnect, thread
+schedulers — is driven by a single :class:`~repro.sim.engine.Simulator`
+whose clock advances in virtual microseconds.  Determinism is guaranteed by
+a FIFO tie-break on equal timestamps, so a given workload always produces
+the same event order and the same reported numbers.
+"""
+
+from repro.sim.account import Category, Counters, TimeAccount
+from repro.sim.effects import Charge, Effect, Park, Switch, WaitInbox
+from repro.sim.engine import Event, Simulator
+from repro.sim.trace import NullTracer, RecordingTracer, Tracer
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Category",
+    "TimeAccount",
+    "Counters",
+    "Effect",
+    "Charge",
+    "Switch",
+    "Park",
+    "WaitInbox",
+    "Tracer",
+    "NullTracer",
+    "RecordingTracer",
+]

@@ -1,0 +1,151 @@
+"""Per-component time accounting and event counters.
+
+The paper's Figures 5 and 6 break application execution time into five
+stacked components — *cpu*, *net*, *thread mgmt*, *thread sync*, and
+*cc++ runtime* — and Table 4 reports per-benchmark thread-operation counts
+(Yield / Create / Sync).  Every charge made anywhere in the simulated
+machine is tagged with a :class:`Category`, so those artifacts fall out of
+the accounting rather than being estimated after the fact.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable, Mapping
+
+__all__ = ["Category", "TimeAccount", "Counters"]
+
+
+class Category(enum.Enum):
+    """Where a slice of virtual time is charged.
+
+    The first five match the paper's breakdown components; ``IDLE`` tracks
+    time a node spends with nothing runnable (waiting on the network), which
+    the paper folds into *net* when reporting — :meth:`TimeAccount.breakdown`
+    does the same fold.
+    """
+
+    CPU = "cpu"                  # application computation
+    NET = "net"                  # AM send/receive overheads + wire time
+    THREAD_MGMT = "thread mgmt"  # thread creation + context switches
+    THREAD_SYNC = "thread sync"  # locks, unlocks, condition signals
+    RUNTIME = "runtime"          # marshalling, stub lookup, buffer mgmt
+    IDLE = "idle"                # node had nothing runnable
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class TimeAccount:
+    """Accumulates charged virtual time per :class:`Category`."""
+
+    __slots__ = ("_us",)
+
+    def __init__(self) -> None:
+        self._us: dict[Category, float] = {c: 0.0 for c in Category}
+
+    def add(self, category: Category, us: float) -> None:
+        """Charge ``us`` microseconds to ``category`` (must be >= 0)."""
+        if us < 0:
+            raise ValueError(f"negative charge: {us} us to {category}")
+        self._us[category] += us
+
+    def get(self, category: Category) -> float:
+        return self._us[category]
+
+    def total(self, *, include_idle: bool = True) -> float:
+        """Sum across categories."""
+        total = sum(self._us.values())
+        if not include_idle:
+            total -= self._us[Category.IDLE]
+        return total
+
+    def snapshot(self) -> dict[Category, float]:
+        """An independent copy of the current per-category totals."""
+        return dict(self._us)
+
+    def since(self, snapshot: Mapping[Category, float]) -> dict[Category, float]:
+        """Per-category delta relative to an earlier :meth:`snapshot`."""
+        return {c: self._us[c] - snapshot.get(c, 0.0) for c in Category}
+
+    def merge(self, other: "TimeAccount") -> None:
+        """Fold another account into this one (used to aggregate nodes)."""
+        for c in Category:
+            self._us[c] += other._us[c]
+
+    def breakdown(self, *, fold_idle_into_net: bool = True) -> dict[str, float]:
+        """The five-component breakdown the paper's figures use.
+
+        Idle time (a node stalled waiting for a remote reply) is what the
+        paper's *net* bars show, so it is folded there by default.
+        """
+        out = {str(c): v for c, v in self._us.items() if c is not Category.IDLE}
+        if fold_idle_into_net:
+            out[str(Category.NET)] += self._us[Category.IDLE]
+        else:
+            out[str(Category.IDLE)] = self._us[Category.IDLE]
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(f"{c.value}={v:.1f}" for c, v in self._us.items() if v)
+        return f"TimeAccount({parts or 'empty'})"
+
+
+class Counters:
+    """Monotone named counters (messages sent, bytes moved, thread ops...).
+
+    A thin dict wrapper that refuses negative increments and supports
+    snapshot/delta like :class:`TimeAccount`, so a micro-benchmark can
+    report exactly how many yields / creates / syncs one iteration cost —
+    the Table 4 columns.
+    """
+
+    __slots__ = ("_counts",)
+
+    def __init__(self) -> None:
+        self._counts: dict[str, int] = {}
+
+    def inc(self, name: str, by: int = 1) -> None:
+        if by < 0:
+            raise ValueError(f"negative increment {by} for counter {name!r}")
+        self._counts[name] = self._counts.get(name, 0) + by
+
+    def get(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def names(self) -> Iterable[str]:
+        return self._counts.keys()
+
+    def snapshot(self) -> dict[str, int]:
+        return dict(self._counts)
+
+    def since(self, snapshot: Mapping[str, int]) -> dict[str, int]:
+        keys = set(self._counts) | set(snapshot)
+        return {k: self._counts.get(k, 0) - snapshot.get(k, 0) for k in keys}
+
+    def merge(self, other: "Counters") -> None:
+        for name, v in other._counts.items():
+            self._counts[name] = self._counts.get(name, 0) + v
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counters({self._counts!r})"
+
+
+# Canonical counter names, shared by the runtimes and the experiment
+# harness so reports don't drift out of sync with instrumentation.
+class CounterNames:
+    """Namespace of canonical counter keys."""
+
+    THREAD_CREATE = "threads.create"
+    THREAD_YIELD = "threads.yield"          # voluntary context switches
+    THREAD_SYNC_OP = "threads.sync_op"      # lock/unlock/signal calls
+    MSG_SHORT = "net.msg.short"             # short AM request/reply
+    MSG_BULK = "net.msg.bulk"               # bulk AM transfers
+    BYTES_SENT = "net.bytes"
+    POLLS = "net.polls"
+    RMI_COLD = "ccpp.rmi.cold"              # stub-cache misses
+    RMI_WARM = "ccpp.rmi.warm"              # stub-cache hits
+    RBUF_REUSE = "ccpp.rbuf.reuse"          # persistent R-buffer hits
+    RBUF_ALLOC = "ccpp.rbuf.alloc"
+    LOCK_CONTENDED = "threads.lock.contended"
+    LOCK_UNCONTENDED = "threads.lock.uncontended"

@@ -1,0 +1,170 @@
+"""The discrete-event engine.
+
+A :class:`Simulator` owns a virtual clock (float microseconds) and a binary
+heap of :class:`Event` records.  Events scheduled for the same instant fire
+in scheduling order (monotone sequence numbers break ties), which makes the
+whole machine deterministic — a property the test suite checks directly.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable
+
+from repro.errors import SimulationError
+
+__all__ = ["Event", "Simulator"]
+
+
+class Event:
+    """A scheduled callback.  Create via :meth:`Simulator.schedule`.
+
+    Events are one-shot; :meth:`cancel` marks them dead in place (lazy
+    deletion — the heap entry stays but is skipped when popped).
+    """
+
+    __slots__ = ("time", "seq", "fn", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[[], None]):
+        self.time = time
+        self.seq = seq
+        self.fn: Callable[[], None] | None = fn
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self.cancelled = True
+        self.fn = None  # release references early
+
+    @property
+    def alive(self) -> bool:
+        return not self.cancelled
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<Event t={self.time:.3f} seq={self.seq} {state}>"
+
+
+class Simulator:
+    """Virtual-time event loop.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(10.0, lambda: print("fires at t=10us"))
+        sim.run()
+    """
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._seq: int = 0
+        self._heap: list[Event] = []
+        self._live: int = 0  # non-cancelled events still in the heap
+        self._events_fired: int = 0
+        self._running = False
+
+    # ------------------------------------------------------------------ time
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in microseconds."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events not yet fired."""
+        return self._live
+
+    @property
+    def events_fired(self) -> int:
+        """Total events executed so far (for instrumentation and tests)."""
+        return self._events_fired
+
+    # ------------------------------------------------------------ scheduling
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> Event:
+        """Schedule ``fn`` to run ``delay`` µs from now.  Returns the event,
+        which may be cancelled before it fires."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay} us in the past")
+        return self.schedule_at(self._now + delay, fn)
+
+    def schedule_at(self, time: float, fn: Callable[[], None]) -> Event:
+        """Schedule ``fn`` at absolute virtual time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} (now is t={self._now})"
+            )
+        ev = Event(time, self._seq, fn)
+        self._seq += 1
+        heapq.heappush(self._heap, ev)
+        self._live += 1
+        return ev
+
+    # --------------------------------------------------------------- running
+
+    def step(self) -> bool:
+        """Fire the next live event.  Returns False when the queue is empty."""
+        while self._heap:
+            ev = heapq.heappop(self._heap)
+            if ev.cancelled:
+                self._live -= 1
+                continue
+            self._live -= 1
+            if ev.time < self._now:  # pragma: no cover - invariant guard
+                raise SimulationError("event heap yielded an event in the past")
+            self._now = ev.time
+            fn = ev.fn
+            ev.fn = None
+            self._events_fired += 1
+            assert fn is not None
+            fn()
+            return True
+        return False
+
+    def run(self, *, until: float | None = None, max_events: int | None = None) -> None:
+        """Run until the queue drains, or the clock would pass ``until``,
+        or ``max_events`` have fired (whichever comes first).
+
+        ``max_events`` is a runaway guard for tests: hitting it raises
+        :class:`SimulationError` rather than silently stopping, because a
+        simulation that spins forever in virtual time is a bug.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not reentrant")
+        self._running = True
+        fired = 0
+        try:
+            while self._heap:
+                nxt = self._heap[0]
+                if nxt.cancelled:
+                    heapq.heappop(self._heap)
+                    self._live -= 1
+                    continue
+                if until is not None and nxt.time > until:
+                    self._now = until
+                    return
+                self.step()
+                fired += 1
+                if max_events is not None and fired >= max_events:
+                    raise SimulationError(
+                        f"simulation exceeded max_events={max_events} "
+                        f"(t={self._now:.1f} us); likely a virtual-time livelock"
+                    )
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._running = False
+
+    def drain_cancelled(self) -> None:
+        """Compact the heap by dropping cancelled entries (optional hygiene
+        for very long runs; correctness never requires it)."""
+        self._heap = [ev for ev in self._heap if not ev.cancelled]
+        heapq.heapify(self._heap)
+        self._live = len(self._heap)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator t={self._now:.3f}us pending={self._live}>"

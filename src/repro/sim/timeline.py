@@ -1,0 +1,78 @@
+"""Text timeline rendering from a :class:`RecordingTracer`.
+
+Attach a tracer to a cluster, run, then render what happened — thread
+dispatches, message sends, deliveries — as a chronological, per-node
+aligned log.  Intended for debugging simulated programs and for teaching
+what the runtimes actually do; the renderer itself performs no
+simulation work.
+
+    tracer = RecordingTracer()
+    cluster = Cluster(2, tracer=tracer)
+    ...
+    print(render_timeline(tracer, n_nodes=2))
+"""
+
+from __future__ import annotations
+
+from repro.sim.trace import RecordingTracer, TraceRecord
+
+__all__ = ["render_timeline", "summarize_kinds"]
+
+_GLYPHS = {
+    "thread.run": ">",
+    "thread.done": ".",
+    "send": "~",
+    "deliver": "*",
+}
+
+
+def _fmt_record(r: TraceRecord) -> str:
+    glyph = _GLYPHS.get(r.kind, "?")
+    detail = f" {r.detail}" if r.detail else ""
+    return f"{glyph} {r.kind}{detail}"
+
+
+def render_timeline(
+    tracer: RecordingTracer,
+    *,
+    n_nodes: int,
+    start: float = 0.0,
+    end: float | None = None,
+    limit: int = 200,
+    col_width: int = 34,
+) -> str:
+    """Render the trace as one column per node, one row per event.
+
+    ``start``/``end`` bound the virtual-time window; ``limit`` caps the
+    rows (oldest first within the window) so a long run stays readable.
+    """
+    if n_nodes < 1:
+        raise ValueError("n_nodes must be >= 1")
+    records = [
+        r
+        for r in tracer.records
+        if r.time >= start and (end is None or r.time <= end)
+    ][:limit]
+
+    header = "time (us)".ljust(12) + "".join(
+        f"node {nid}".ljust(col_width) for nid in range(n_nodes)
+    )
+    lines = [header, "-" * len(header.rstrip())]
+    for r in records:
+        cells = [""] * n_nodes
+        if 0 <= r.node < n_nodes:
+            cells[r.node] = _fmt_record(r)[: col_width - 1]
+        lines.append(
+            f"{r.time:>10.2f}  " + "".join(c.ljust(col_width) for c in cells)
+        )
+    if len(tracer.records) > len(records):
+        lines.append(f"... ({len(tracer.records) - len(records)} more records)")
+    return "\n".join(line.rstrip() for line in lines)
+
+
+def summarize_kinds(tracer: RecordingTracer) -> dict[str, int]:
+    """Event counts by kind (a quick sanity view of a run)."""
+    out: dict[str, int] = {}
+    for r in tracer.records:
+        out[r.kind] = out.get(r.kind, 0) + 1
+    return out

@@ -1,0 +1,65 @@
+"""Optional event tracing.
+
+Tracers observe interesting machine events (thread switches, message
+sends/deliveries, polls).  The default :class:`NullTracer` costs one method
+call per event; :class:`RecordingTracer` keeps a bounded in-memory log that
+tests and debugging sessions can assert against.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+__all__ = ["Tracer", "NullTracer", "RecordingTracer", "TraceRecord"]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """One traced machine event."""
+
+    time: float
+    node: int
+    kind: str
+    detail: str
+
+
+class Tracer:
+    """Interface: override :meth:`record`."""
+
+    def record(self, time: float, node: int, kind: str, detail: str = "") -> None:
+        raise NotImplementedError
+
+
+class NullTracer(Tracer):
+    """Discards everything (the default)."""
+
+    def record(self, time: float, node: int, kind: str, detail: str = "") -> None:
+        pass
+
+
+class RecordingTracer(Tracer):
+    """Keeps the last ``maxlen`` records in memory.
+
+    ``kinds`` (if given) filters to the event kinds of interest so long
+    application runs don't drown the signal.
+    """
+
+    def __init__(self, *, maxlen: int = 100_000, kinds: set[str] | None = None):
+        self.records: deque[TraceRecord] = deque(maxlen=maxlen)
+        self.kinds = kinds
+
+    def record(self, time: float, node: int, kind: str, detail: str = "") -> None:
+        if self.kinds is not None and kind not in self.kinds:
+            return
+        self.records.append(TraceRecord(time, node, kind, detail))
+
+    def of_kind(self, kind: str) -> list[TraceRecord]:
+        """All retained records of one kind, oldest first."""
+        return [r for r in self.records if r.kind == kind]
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -1,0 +1,33 @@
+"""Split-C: the SPMD comparison language (Culler et al., SC '93).
+
+Split-C extends C with a global address space over an SPMD execution
+model: every processor runs the same program, synchronizing via barriers.
+The structure of global pointers is visible — a (node, local address)
+pair supporting node arithmetic — and communication happens when a global
+pointer is dereferenced:
+
+* blocking ``read`` / ``write`` (one request/reply round trip),
+* split-phase ``get`` / ``put`` completed by ``sync()``,
+* one-way ``store`` completed at the *target* by ``await_stores``,
+* ``bulk_read`` / ``bulk_write`` for contiguous blocks.
+
+Each simulated processor is **single-threaded** (the paper: Split-C
+"offers only a single computation thread") and waits by spin-polling, so
+the language pays no thread-management or locking costs — exactly the
+asymmetry against CC++ the paper quantifies.
+"""
+
+from repro.splitc import collective
+from repro.splitc.gptr import GlobalPtr
+from repro.splitc.memory import Memory, SpreadArray
+from repro.splitc.process import SCProcess
+from repro.splitc.runtime import SplitCRuntime
+
+__all__ = [
+    "GlobalPtr",
+    "Memory",
+    "SpreadArray",
+    "SCProcess",
+    "SplitCRuntime",
+    "collective",
+]

@@ -1,0 +1,173 @@
+"""Per-node memory regions and spread arrays.
+
+A region is a named, typed NumPy array living on one node; global
+pointers name ``(node, region, offset)``.  Regions allocated with the
+same name on every node model Split-C's statics/heap symmetry: the same
+"address" is valid everywhere, which is what makes global-pointer node
+arithmetic meaningful.
+
+:class:`SpreadArray` implements Split-C spread arrays — one logical array
+laid out across all processors cyclically or in contiguous blocks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GlobalPointerError, RuntimeStateError
+from repro.splitc.gptr import GlobalPtr
+
+__all__ = ["Memory", "SpreadArray"]
+
+
+class Memory:
+    """The memory of one node: named typed regions."""
+
+    SERVICE = "sc_mem"
+
+    def __init__(self, node) -> None:
+        self.node = node
+        self._regions: dict[str, np.ndarray] = {}
+        node.attach(self.SERVICE, self)
+
+    # ----------------------------------------------------------- allocation
+
+    def alloc(self, region: str, size: int, dtype: str | np.dtype = np.float64) -> np.ndarray:
+        """Allocate a region; the backing array is zero-initialized."""
+        if region in self._regions:
+            raise RuntimeStateError(f"region {region!r} already allocated on node {self.node.nid}")
+        if size < 0:
+            raise RuntimeStateError(f"negative region size {size}")
+        arr = np.zeros(size, dtype=dtype)
+        self._regions[region] = arr
+        return arr
+
+    def alloc_like(self, region: str, data: np.ndarray) -> np.ndarray:
+        """Allocate a region initialized with a copy of ``data``."""
+        if region in self._regions:
+            raise RuntimeStateError(f"region {region!r} already allocated on node {self.node.nid}")
+        arr = np.array(data, copy=True)
+        self._regions[region] = arr
+        return arr
+
+    def region(self, name: str) -> np.ndarray:
+        try:
+            return self._regions[name]
+        except KeyError:
+            raise GlobalPointerError(
+                f"region {name!r} not allocated on node {self.node.nid}"
+            ) from None
+
+    def has_region(self, name: str) -> bool:
+        return name in self._regions
+
+    # -------------------------------------------------------------- accesses
+
+    def _check(self, gp: GlobalPtr, count: int = 1) -> np.ndarray:
+        if gp.node != self.node.nid:
+            raise GlobalPointerError(
+                f"{gp!r} dereferenced on node {self.node.nid} (not local)"
+            )
+        arr = self.region(gp.region)
+        if not 0 <= gp.offset <= gp.offset + count <= len(arr):
+            raise GlobalPointerError(
+                f"{gp!r} (+{count}) out of bounds for region of {len(arr)}"
+            )
+        return arr
+
+    def load(self, gp: GlobalPtr):
+        """Read one element (local access only)."""
+        return self._check(gp)[gp.offset].item()
+
+    def store(self, gp: GlobalPtr, value) -> None:
+        """Write one element (local access only)."""
+        self._check(gp)[gp.offset] = value
+
+    def load_block(self, gp: GlobalPtr, count: int) -> np.ndarray:
+        """Copy ``count`` contiguous elements out (local access only)."""
+        arr = self._check(gp, count)
+        return arr[gp.offset : gp.offset + count].copy()
+
+    def store_block(self, gp: GlobalPtr, values: np.ndarray) -> None:
+        """Write a contiguous block (local access only)."""
+        arr = self._check(gp, len(values))
+        arr[gp.offset : gp.offset + len(values)] = values
+
+    # --------------------------------------------- handler-side conveniences
+    # AM handlers address this node's memory by (region, offset) directly;
+    # these wrappers build the (always-local) pointer and bounds-check.
+
+    def load_gp(self, region: str, offset: int):
+        return self.load(GlobalPtr(self.node.nid, region, offset))
+
+    def store_gp(self, region: str, offset: int, value) -> None:
+        self.store(GlobalPtr(self.node.nid, region, offset), value)
+
+    def load_block_gp(self, region: str, offset: int, count: int) -> np.ndarray:
+        return self.load_block(GlobalPtr(self.node.nid, region, offset), count)
+
+    def store_block_gp(self, region: str, offset: int, values: np.ndarray) -> None:
+        self.store_block(GlobalPtr(self.node.nid, region, offset), values)
+
+
+class SpreadArray:
+    """A logical global array spread across ``n_nodes`` processors.
+
+    ``layout='cyclic'`` places element *i* on node ``i % P`` at offset
+    ``i // P`` (Split-C's default spreader); ``layout='block'`` gives each
+    node one contiguous chunk.  Use :meth:`alloc_on` once per node, then
+    :meth:`ptr` to address any element from anywhere.
+    """
+
+    def __init__(
+        self,
+        region: str,
+        total: int,
+        n_nodes: int,
+        *,
+        layout: str = "cyclic",
+        dtype: str | np.dtype = np.float64,
+    ):
+        if layout not in ("cyclic", "block"):
+            raise RuntimeStateError(f"unknown spread layout {layout!r}")
+        if n_nodes < 1 or total < 0:
+            raise RuntimeStateError(f"bad spread shape total={total} nodes={n_nodes}")
+        self.region = region
+        self.total = total
+        self.n_nodes = n_nodes
+        self.layout = layout
+        self.dtype = np.dtype(dtype)
+
+    # ------------------------------------------------------------- geometry
+
+    def local_size(self, node: int) -> int:
+        """How many elements land on ``node``."""
+        if self.layout == "cyclic":
+            return (self.total - node + self.n_nodes - 1) // self.n_nodes
+        base, extra = divmod(self.total, self.n_nodes)
+        return base + (1 if node < extra else 0)
+
+    def locate(self, i: int) -> tuple[int, int]:
+        """Map global index -> (node, local offset)."""
+        if not 0 <= i < self.total:
+            raise GlobalPointerError(f"spread index {i} out of [0, {self.total})")
+        if self.layout == "cyclic":
+            return i % self.n_nodes, i // self.n_nodes
+        base, extra = divmod(self.total, self.n_nodes)
+        # first `extra` nodes hold (base+1) elements
+        boundary = extra * (base + 1)
+        if i < boundary:
+            return i // (base + 1), i % (base + 1)
+        j = i - boundary
+        return extra + j // base if base else extra, j % base if base else 0
+
+    def ptr(self, i: int) -> GlobalPtr:
+        """Global pointer to element ``i``."""
+        node, off = self.locate(i)
+        return GlobalPtr(node, self.region, off)
+
+    # ------------------------------------------------------------ allocation
+
+    def alloc_on(self, mem: Memory, node: int) -> np.ndarray:
+        """Allocate this node's slice of the spread array."""
+        return mem.alloc(self.region, self.local_size(node), self.dtype)

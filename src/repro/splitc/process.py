@@ -1,0 +1,352 @@
+"""The per-node Split-C program context.
+
+An :class:`SCProcess` is what a Split-C "program text" manipulates: the
+global-access primitives of the language, each a generator to be driven
+with ``yield from``.  The API mirrors Split-C's communication taxonomy
+(Culler et al.):
+
+==============  =============================  =======================
+primitive       Split-C syntax                 here
+==============  =============================  =======================
+blocking read   ``lx = *gp``                   ``read(gp)``
+blocking write  ``*gp = lx``                   ``write(gp, v)``
+split-phase     ``lx := *gp; ... sync()``      ``get(dest, gp)`` / ``sync()``
+one-way store   ``*gp :- lx``                  ``store(gp, v)`` / ``await_stores(n)``
+bulk            ``bulk_read(&l, gp, n)``       ``bulk_read(gp, n)``
+barrier         ``barrier()``                  ``barrier()``
+==============  =============================  =======================
+
+Local global-pointer dereferences short-circuit the network and cost a
+fraction of a microsecond, as in the real runtime.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.am.frames import BULK_HEADER_BYTES
+from repro.errors import GlobalPointerError
+from repro.sim.account import Category
+from repro.sim.effects import Charge
+from repro.splitc.gptr import GlobalPtr
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.splitc.runtime import SplitCRuntime
+
+__all__ = ["SCProcess"]
+
+_READ_REQ_BYTES = 16
+_WRITE_REQ_BYTES = 24
+_GET_REQ_BYTES = 24
+_PUT_REQ_BYTES = 24
+_STORE_BYTES = 24
+_BARRIER_BYTES = 12
+
+
+class SCProcess:
+    """Split-C as seen by the program running on one node."""
+
+    def __init__(self, runtime: "SplitCRuntime", nid: int):
+        self.rt = runtime
+        self.nid = nid
+        self.node = runtime.cluster.nodes[nid]
+        self.mem = runtime.memories[nid]
+        self.ep = runtime.endpoints[nid]
+        self._barrier_epoch = 0
+
+    # -------------------------------------------------------------- geometry
+
+    @property
+    def my_node(self) -> int:
+        """``MYPROC`` in Split-C."""
+        return self.nid
+
+    @property
+    def nprocs(self) -> int:
+        """``PROCS`` in Split-C."""
+        return self.rt.nprocs
+
+    def local(self, region: str) -> np.ndarray:
+        """Direct handle to a local region (free: models ordinary C access)."""
+        return self.mem.region(region)
+
+    def gptr(self, node: int, region: str, offset: int = 0) -> GlobalPtr:
+        return GlobalPtr(node, region, offset)
+
+    # ------------------------------------------------------------------ time
+
+    def charge(self, us: float) -> Generator[Any, Any, None]:
+        """Account application CPU work (the figures' *cpu* component)."""
+        yield Charge(us, Category.CPU)
+
+    # ------------------------------------------------------ blocking accesses
+
+    def read(self, gp: GlobalPtr) -> Generator[Any, Any, Any]:
+        """``lx = *gp``: blocking global read."""
+        rt_costs = self.node.costs.runtime
+        if gp.is_local(self.nid):
+            yield Charge(rt_costs.sc_local_access, Category.RUNTIME)
+            return self.mem.load(gp)
+        yield Charge(rt_costs.sc_issue, Category.RUNTIME)
+        slot, box = self.rt.new_box(self.nid)
+        yield from self.ep.send_short(
+            gp.node, "sc.read", args=(gp.region, gp.offset, slot), nbytes=_READ_REQ_BYTES
+        )
+        yield from self.ep.poll_until(lambda: box.done)
+        return box.value
+
+    def write(self, gp: GlobalPtr, value: Any) -> Generator[Any, Any, None]:
+        """``*gp = lx``: blocking global write (waits for the ack)."""
+        rt_costs = self.node.costs.runtime
+        if gp.is_local(self.nid):
+            yield Charge(rt_costs.sc_local_access, Category.RUNTIME)
+            self.mem.store(gp, value)
+            return
+        yield Charge(rt_costs.sc_issue, Category.RUNTIME)
+        slot, box = self.rt.new_box(self.nid)
+        yield from self.ep.send_short(
+            gp.node,
+            "sc.write",
+            args=(gp.region, gp.offset, value, slot),
+            nbytes=_WRITE_REQ_BYTES,
+        )
+        yield from self.ep.poll_until(lambda: box.done)
+
+    # ---------------------------------------------------- split-phase accesses
+
+    def get(self, dest: GlobalPtr, src: GlobalPtr) -> Generator[Any, Any, None]:
+        """``dest := *src``: split-phase read into local memory; complete
+        with :meth:`sync`."""
+        if not dest.is_local(self.nid):
+            raise GlobalPointerError(f"get destination {dest!r} is not local to node {self.nid}")
+        rt_costs = self.node.costs.runtime
+        if src.is_local(self.nid):
+            yield Charge(rt_costs.sc_local_access, Category.RUNTIME)
+            self.mem.store(dest, self.mem.load(src))
+            return
+        yield Charge(rt_costs.sc_issue, Category.RUNTIME)
+        self.rt.state(self.nid).pending += 1
+        yield from self.ep.send_short(
+            src.node,
+            "sc.get",
+            args=(src.region, src.offset, dest.region, dest.offset),
+            nbytes=_GET_REQ_BYTES,
+        )
+
+    def put(self, dest: GlobalPtr, value: Any) -> Generator[Any, Any, None]:
+        """``*dest := lx``: split-phase write; complete with :meth:`sync`."""
+        rt_costs = self.node.costs.runtime
+        if dest.is_local(self.nid):
+            yield Charge(rt_costs.sc_local_access, Category.RUNTIME)
+            self.mem.store(dest, value)
+            return
+        yield Charge(rt_costs.sc_issue, Category.RUNTIME)
+        self.rt.state(self.nid).pending += 1
+        yield from self.ep.send_short(
+            dest.node,
+            "sc.put",
+            args=(dest.region, dest.offset, value),
+            nbytes=_PUT_REQ_BYTES,
+        )
+
+    def sync(self) -> Generator[Any, Any, None]:
+        """Wait for every outstanding split-phase operation by this node."""
+        st = self.rt.state(self.nid)
+        yield Charge(self.node.costs.runtime.sc_sync_check, Category.RUNTIME)
+        yield from self.ep.poll_until(lambda: st.pending == 0)
+
+    # ------------------------------------------------------------- one-way
+
+    def store(self, dest: GlobalPtr, value: Any) -> Generator[Any, Any, None]:
+        """``*dest :- lx``: one-way store; the *target* synchronizes."""
+        rt_costs = self.node.costs.runtime
+        self.rt.state(self.nid).stores_sent += 1
+        if dest.is_local(self.nid):
+            yield Charge(rt_costs.sc_local_access, Category.RUNTIME)
+            self.mem.store(dest, value)
+            st = self.rt.state(self.nid)
+            st.stores_received += 1
+            return
+        yield Charge(rt_costs.sc_issue, Category.RUNTIME)
+        yield from self.ep.send_short(
+            dest.node,
+            "sc.store",
+            args=(dest.region, dest.offset, value),
+            nbytes=_STORE_BYTES,
+        )
+
+    def store_add(self, dest: GlobalPtr, values) -> Generator[Any, Any, None]:
+        """One-way remote accumulate of a few contiguous elements
+        (``*dest[k] += values[k]``); counts as one store at the target."""
+        values = [float(v) for v in values]
+        rt_costs = self.node.costs.runtime
+        self.rt.state(self.nid).stores_sent += 1
+        if dest.is_local(self.nid):
+            yield Charge(rt_costs.sc_local_access, Category.RUNTIME)
+            arr = self.mem.region(dest.region)
+            for k, v in enumerate(values):
+                arr[dest.offset + k] += v
+            self.rt.state(self.nid).stores_received += 1
+            return
+        yield Charge(rt_costs.sc_issue, Category.RUNTIME)
+        yield from self.ep.send_short(
+            dest.node,
+            "sc.store_add",
+            args=(dest.region, dest.offset, tuple(values)),
+            nbytes=_STORE_BYTES + 8 * (len(values) - 1),
+        )
+
+    def bulk_store(self, dest: GlobalPtr, values: np.ndarray) -> Generator[Any, Any, None]:
+        """One-way bulk store of a contiguous block."""
+        values = np.asarray(values)
+        rt_costs = self.node.costs.runtime
+        self.rt.state(self.nid).stores_sent += 1
+        if dest.is_local(self.nid):
+            yield Charge(rt_costs.sc_local_access, Category.RUNTIME)
+            self.mem.store_block(dest, values)
+            self.rt.state(self.nid).stores_received += 1
+            return
+        yield Charge(rt_costs.sc_issue, Category.RUNTIME)
+        yield from self.ep.send_bulk(
+            dest.node,
+            "sc.bulk_store",
+            args=(dest.region, dest.offset, str(values.dtype)),
+            data=values.tobytes(),
+            nbytes=BULK_HEADER_BYTES + values.nbytes,
+        )
+
+    def bulk_store_add(self, dest: GlobalPtr, values: np.ndarray) -> Generator[Any, Any, None]:
+        """One-way bulk accumulate of a contiguous block (counts as one
+        store at the target) — how water-prefetch ships force blocks."""
+        values = np.asarray(values, dtype=np.float64)
+        rt_costs = self.node.costs.runtime
+        self.rt.state(self.nid).stores_sent += 1
+        if dest.is_local(self.nid):
+            yield Charge(rt_costs.sc_local_access, Category.RUNTIME)
+            arr = self.mem.region(dest.region)
+            arr[dest.offset : dest.offset + len(values)] += values
+            self.rt.state(self.nid).stores_received += 1
+            return
+        yield Charge(rt_costs.sc_issue, Category.RUNTIME)
+        yield from self.ep.send_bulk(
+            dest.node,
+            "sc.bulk_store_add",
+            args=(dest.region, dest.offset, str(values.dtype)),
+            data=values.tobytes(),
+            nbytes=BULK_HEADER_BYTES + values.nbytes,
+        )
+
+    def await_stores(self, n: int) -> Generator[Any, Any, None]:
+        """Block until ``n`` further stores have landed on this node."""
+        st = self.rt.state(self.nid)
+        target = st.stores_consumed + n
+        yield Charge(self.node.costs.runtime.sc_sync_check, Category.RUNTIME)
+        yield from self.ep.poll_until(lambda: st.stores_received >= target)
+        st.stores_consumed = target
+
+    # ----------------------------------------------------------------- bulk
+
+    def bulk_read(self, src: GlobalPtr, count: int) -> Generator[Any, Any, np.ndarray]:
+        """Blocking bulk read of ``count`` elements starting at ``src``."""
+        rt_costs = self.node.costs.runtime
+        if src.is_local(self.nid):
+            yield Charge(rt_costs.sc_local_access, Category.RUNTIME)
+            return self.mem.load_block(src, count)
+        yield Charge(rt_costs.sc_issue, Category.RUNTIME)
+        slot, box = self.rt.new_box(self.nid)
+        yield from self.ep.send_short(
+            src.node,
+            "sc.bulk_read",
+            args=(src.region, src.offset, count, slot),
+            nbytes=_READ_REQ_BYTES + 8,
+        )
+        yield from self.ep.poll_until(lambda: box.done)
+        return box.value
+
+    def bulk_write(self, dest: GlobalPtr, values: np.ndarray) -> Generator[Any, Any, None]:
+        """Blocking bulk write (waits for the ack)."""
+        values = np.asarray(values)
+        rt_costs = self.node.costs.runtime
+        if dest.is_local(self.nid):
+            yield Charge(rt_costs.sc_local_access, Category.RUNTIME)
+            self.mem.store_block(dest, values)
+            return
+        yield Charge(rt_costs.sc_issue, Category.RUNTIME)
+        slot, box = self.rt.new_box(self.nid)
+        yield from self.ep.send_bulk(
+            dest.node,
+            "sc.bulk_write",
+            args=(dest.region, dest.offset, str(values.dtype), slot),
+            data=values.tobytes(),
+            nbytes=BULK_HEADER_BYTES + values.nbytes,
+        )
+        yield from self.ep.poll_until(lambda: box.done)
+
+    # --------------------------------------------------------------- barrier
+
+    def barrier(self) -> Generator[Any, Any, None]:
+        """Global SPMD barrier over all processors."""
+        epoch = self._barrier_epoch
+        self._barrier_epoch += 1
+        yield Charge(self.node.costs.runtime.sc_sync_check, Category.RUNTIME)
+        if self.nid == 0:
+            st0 = self.rt.state(0)
+            st0.barrier_arrived += 1
+            yield from self.rt._maybe_release_barrier(self.ep)
+            yield from self.ep.poll_until(
+                lambda: self.rt.state(0).barrier_released > epoch
+            )
+        else:
+            yield from self.ep.send_short(
+                0, "sc.barrier", args=(epoch,), nbytes=_BARRIER_BYTES
+            )
+            yield from self.ep.poll_until(
+                lambda: self.rt.state(self.nid).barrier_released > epoch
+            )
+
+    def bulk_get(
+        self, dest: GlobalPtr, src: GlobalPtr, count: int
+    ) -> Generator[Any, Any, None]:
+        """Split-phase bulk read of ``count`` elements into local memory;
+        complete with :meth:`sync` (how sc-lu prefetches panel blocks)."""
+        if not dest.is_local(self.nid):
+            raise GlobalPointerError(f"bulk_get destination {dest!r} is not local")
+        rt_costs = self.node.costs.runtime
+        if src.is_local(self.nid):
+            yield Charge(rt_costs.sc_local_access, Category.RUNTIME)
+            self.mem.store_block(dest, self.mem.load_block(src, count))
+            return
+        yield Charge(rt_costs.sc_issue, Category.RUNTIME)
+        self.rt.state(self.nid).pending += 1
+        yield from self.ep.send_short(
+            src.node,
+            "sc.bulk_get",
+            args=(src.region, src.offset, count, dest.region, dest.offset),
+            nbytes=_READ_REQ_BYTES + 16,
+        )
+
+    # ------------------------------------------------------------ atomic RPC
+
+    def atomic_rpc(self, node: int, name: str, *args: Any) -> Generator[Any, Any, Any]:
+        """Split-C ``atomic(foo, ...)``: run a registered function on
+        ``node`` and return its result (Table 4's 0-Word Atomic RPC row)."""
+        rt_costs = self.node.costs.runtime
+        yield Charge(rt_costs.sc_issue, Category.RUNTIME)
+        slot, box = self.rt.new_box(self.nid)
+        yield from self.ep.send_short(
+            node, "sc.rpc", args=(name, args, slot), nbytes=_READ_REQ_BYTES + 8 * len(args)
+        )
+        yield from self.ep.poll_until(lambda: box.done)
+        return box.value
+
+    # ----------------------------------------------------------------- misc
+
+    def poll(self) -> Generator[Any, Any, int]:
+        """Explicit poll (Split-C programs sprinkle these in compute loops)."""
+        return (yield from self.ep.poll())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SCProcess node={self.nid}/{self.nprocs}>"

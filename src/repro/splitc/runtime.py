@@ -1,0 +1,367 @@
+"""The Split-C runtime: handlers, reply boxes, barriers, store counters.
+
+One :class:`SplitCRuntime` owns a cluster, installs an AM endpoint and a
+:class:`~repro.splitc.memory.Memory` on every node, and registers the
+global-access handlers.  Programs run SPMD via :meth:`run_spmd`: the same
+generator function is launched on every node with its own
+:class:`~repro.splitc.process.SCProcess` context.
+
+Cost structure per remote access (SP2 profile):
+
+* blocking read/write: ``sc_issue`` (RUNTIME) + short AM round trip
+  (NET) + ``reply_handling`` (RUNTIME) ≈ 57 µs — Table 4's GP R/W row.
+* split-phase get/put: same messages, but the issuing loop overlaps
+  them; ``sync()`` spin-polls on the outstanding-operation counter.
+* one-way store: no reply at all; the *target* synchronizes via
+  ``await_stores``.
+* bulk read/write: one bulk AM each way ≈ 70 µs + per-byte costs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Generator
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.am import AMEndpoint, AMFrame, install_am
+from repro.am.frames import BULK_HEADER_BYTES
+from repro.errors import RuntimeStateError
+from repro.machine.cluster import Cluster
+from repro.sim.account import Category
+from repro.sim.effects import Charge
+from repro.splitc.memory import Memory
+from repro.splitc.process import SCProcess
+
+__all__ = ["SplitCRuntime", "ReplyBox"]
+
+# wire sizes (bytes) for the short-message protocol frames
+_READ_REQ_BYTES = 16    # region id + offset + slot
+_WRITE_REQ_BYTES = 24   # + value word
+_REPLY_VAL_BYTES = 16   # slot + value
+_ACK_BYTES = 12         # slot
+_STORE_BYTES = 24       # one-way write: region + offset + value
+_BARRIER_BYTES = 12
+
+
+@dataclass(slots=True)
+class ReplyBox:
+    """Completion record for one outstanding blocking operation."""
+
+    done: bool = False
+    value: Any = None
+
+
+@dataclass(slots=True)
+class _NodeState:
+    """Split-C bookkeeping private to one node."""
+
+    boxes: dict[int, ReplyBox] = field(default_factory=dict)
+    next_box: int = 0
+    pending: int = 0          # outstanding split-phase operations
+    stores_received: int = 0  # one-way stores landed here
+    stores_consumed: int = 0
+    stores_sent: int = 0      # one-way stores issued by this node
+    barrier_epoch: int = 0    # epochs this node has completed
+    barrier_arrived: int = 0  # (node 0 only) arrivals for current epoch
+    barrier_released: int = 0 # highest epoch released
+
+
+class SplitCRuntime:
+    """Installs and drives Split-C on a cluster."""
+
+    def __init__(self, cluster: Cluster):
+        self.cluster = cluster
+        self.endpoints: list[AMEndpoint] = install_am(cluster)
+        self.memories: list[Memory] = [Memory(n) for n in cluster.nodes]
+        self._state: list[_NodeState] = [_NodeState() for _ in cluster.nodes]
+        self._procs: list[SCProcess] = [
+            SCProcess(self, node.nid) for node in cluster.nodes
+        ]
+        for ep in self.endpoints:
+            ep.register_handler("sc.read", self._h_read)
+            ep.register_handler("sc.write", self._h_write)
+            ep.register_handler("sc.get", self._h_get)
+            ep.register_handler("sc.get_reply", self._h_get_reply)
+            ep.register_handler("sc.put", self._h_put)
+            ep.register_handler("sc.reply_val", self._h_reply_val)
+            ep.register_handler("sc.ack", self._h_ack)
+            ep.register_handler("sc.put_ack", self._h_put_ack)
+            ep.register_handler("sc.store", self._h_store)
+            ep.register_handler("sc.store_add", self._h_store_add)
+            ep.register_handler("sc.bulk_read", self._h_bulk_read)
+            ep.register_handler("sc.bulk_data", self._h_bulk_data)
+            ep.register_handler("sc.bulk_get", self._h_bulk_get)
+            ep.register_handler("sc.bulk_get_reply", self._h_bulk_get_reply)
+            ep.register_handler("sc.bulk_write", self._h_bulk_write)
+            ep.register_handler("sc.bulk_store", self._h_bulk_store)
+            ep.register_handler("sc.bulk_store_add", self._h_bulk_store_add)
+            ep.register_handler("sc.barrier", self._h_barrier)
+            ep.register_handler("sc.barrier_go", self._h_barrier_go)
+            ep.register_handler("sc.rpc", self._h_rpc)
+        #: registered atomic-RPC functions, shared by all nodes (same
+        #: program image everywhere — the SPMD assumption)
+        self._rpc_fns: dict[str, Callable[..., Any]] = {}
+
+    # ------------------------------------------------------------ structure
+
+    @property
+    def nprocs(self) -> int:
+        return self.cluster.size
+
+    def process(self, nid: int) -> SCProcess:
+        return self._procs[nid]
+
+    def memory(self, nid: int) -> Memory:
+        return self.memories[nid]
+
+    def state(self, nid: int) -> _NodeState:
+        return self._state[nid]
+
+    def endpoint(self, nid: int) -> AMEndpoint:
+        return self.endpoints[nid]
+
+    # ------------------------------------------------------------ box table
+
+    def new_box(self, nid: int) -> tuple[int, ReplyBox]:
+        st = self._state[nid]
+        slot = st.next_box
+        st.next_box += 1
+        box = ReplyBox()
+        st.boxes[slot] = box
+        return slot, box
+
+    def _take_box(self, nid: int, slot: int) -> ReplyBox:
+        try:
+            return self._state[nid].boxes.pop(slot)
+        except KeyError:
+            raise RuntimeStateError(
+                f"node {nid}: reply for unknown slot {slot}"
+            ) from None
+
+    # -------------------------------------------------------------- handlers
+    # All handlers run at poll time on the *destination* node, inside
+    # whatever thread polled.  `ep.node` is the servicing node.
+
+    def _rt_charge(self, ep: AMEndpoint, us: float):
+        return Charge(us, Category.RUNTIME)
+
+    def _h_read(self, ep: AMEndpoint, src: int, frame: AMFrame):
+        region, offset, slot = frame.args
+        value = self.memories[ep.node.nid].load_gp(region, offset)
+        yield from ep.send_short(
+            src, "sc.reply_val", args=(slot, value), nbytes=_REPLY_VAL_BYTES
+        )
+
+    def _h_write(self, ep: AMEndpoint, src: int, frame: AMFrame):
+        region, offset, value, slot = frame.args
+        self.memories[ep.node.nid].store_gp(region, offset, value)
+        yield from ep.send_short(src, "sc.ack", args=(slot,), nbytes=_ACK_BYTES)
+
+    def _h_reply_val(self, ep: AMEndpoint, src: int, frame: AMFrame):
+        slot, value = frame.args
+        box = self._take_box(ep.node.nid, slot)
+        box.value = value
+        box.done = True
+        yield self._rt_charge(ep, ep.node.costs.runtime.reply_handling)
+
+    def _h_ack(self, ep: AMEndpoint, src: int, frame: AMFrame):
+        (slot,) = frame.args
+        box = self._take_box(ep.node.nid, slot)
+        box.done = True
+        yield self._rt_charge(ep, ep.node.costs.runtime.reply_handling)
+
+    # split-phase -----------------------------------------------------------
+
+    def _h_get(self, ep: AMEndpoint, src: int, frame: AMFrame):
+        region, offset, dest_region, dest_offset = frame.args
+        value = self.memories[ep.node.nid].load_gp(region, offset)
+        yield from ep.send_short(
+            src,
+            "sc.get_reply",
+            args=(dest_region, dest_offset, value),
+            nbytes=_REPLY_VAL_BYTES + 8,
+        )
+
+    def _h_get_reply(self, ep: AMEndpoint, src: int, frame: AMFrame):
+        dest_region, dest_offset, value = frame.args
+        nid = ep.node.nid
+        self.memories[nid].store_gp(dest_region, dest_offset, value)
+        self._state[nid].pending -= 1
+        yield self._rt_charge(ep, ep.node.costs.runtime.reply_handling)
+
+    def _h_put(self, ep: AMEndpoint, src: int, frame: AMFrame):
+        region, offset, value = frame.args
+        self.memories[ep.node.nid].store_gp(region, offset, value)
+        yield from ep.send_short(src, "sc.put_ack", args=(), nbytes=_ACK_BYTES)
+
+    def _h_put_ack(self, ep: AMEndpoint, src: int, frame: AMFrame):
+        self._state[ep.node.nid].pending -= 1
+        yield self._rt_charge(ep, ep.node.costs.runtime.reply_handling)
+
+    def _h_store(self, ep: AMEndpoint, src: int, frame: AMFrame):
+        region, offset, value = frame.args
+        nid = ep.node.nid
+        self.memories[nid].store_gp(region, offset, value)
+        self._state[nid].stores_received += 1
+        # one-way: no reply
+        yield self._rt_charge(ep, ep.node.costs.runtime.reply_handling)
+
+    def _h_store_add(self, ep: AMEndpoint, src: int, frame: AMFrame):
+        """One-way accumulate: ``*gp[k] += v[k]`` for a few values (a node
+        is single-threaded, so the read-modify-write is trivially atomic —
+        the asymmetry against CC++'s lock-paying atomic methods)."""
+        region, offset, values = frame.args
+        nid = ep.node.nid
+        mem = self.memories[nid]
+        arr = mem.region(region)
+        for k, v in enumerate(values):
+            arr[offset + k] += v
+        self._state[nid].stores_received += 1
+        yield self._rt_charge(ep, ep.node.costs.runtime.reply_handling)
+
+    # bulk ------------------------------------------------------------------
+
+    def _h_bulk_read(self, ep: AMEndpoint, src: int, frame: AMFrame):
+        region, offset, count, slot = frame.args
+        block = self.memories[ep.node.nid].load_block_gp(region, offset, count)
+        yield from ep.send_bulk(
+            src,
+            "sc.bulk_data",
+            args=(slot, str(block.dtype)),
+            data=block.tobytes(),
+            nbytes=BULK_HEADER_BYTES + block.nbytes,
+        )
+
+    def _h_bulk_data(self, ep: AMEndpoint, src: int, frame: AMFrame):
+        slot, dtype = frame.args
+        box = self._take_box(ep.node.nid, slot)
+        box.value = np.frombuffer(frame.data, dtype=dtype).copy()
+        box.done = True
+        rt = ep.node.costs.runtime
+        yield self._rt_charge(ep, rt.reply_handling + 0.01 * len(frame.data))
+
+    def _h_bulk_get(self, ep: AMEndpoint, src: int, frame: AMFrame):
+        region, offset, count, dest_region, dest_offset = frame.args
+        block = self.memories[ep.node.nid].load_block_gp(region, offset, count)
+        yield from ep.send_bulk(
+            src,
+            "sc.bulk_get_reply",
+            args=(dest_region, dest_offset, str(block.dtype)),
+            data=block.tobytes(),
+            nbytes=BULK_HEADER_BYTES + block.nbytes,
+        )
+
+    def _h_bulk_get_reply(self, ep: AMEndpoint, src: int, frame: AMFrame):
+        dest_region, dest_offset, dtype = frame.args
+        nid = ep.node.nid
+        values = np.frombuffer(frame.data, dtype=dtype)
+        self.memories[nid].store_block_gp(dest_region, dest_offset, values)
+        self._state[nid].pending -= 1
+        rt = ep.node.costs.runtime
+        yield self._rt_charge(ep, rt.reply_handling + 0.01 * len(frame.data))
+
+    def _h_bulk_write(self, ep: AMEndpoint, src: int, frame: AMFrame):
+        region, offset, dtype, slot = frame.args
+        values = np.frombuffer(frame.data, dtype=dtype)
+        self.memories[ep.node.nid].store_block_gp(region, offset, values)
+        yield from ep.send_short(src, "sc.ack", args=(slot,), nbytes=_ACK_BYTES)
+
+    def _h_bulk_store_add(self, ep: AMEndpoint, src: int, frame: AMFrame):
+        """One-way bulk accumulate: ``region[off:off+n] += values``."""
+        region, offset, dtype = frame.args
+        nid = ep.node.nid
+        values = np.frombuffer(frame.data, dtype=dtype)
+        arr = self.memories[nid].region(region)
+        arr[offset : offset + len(values)] += values
+        self._state[nid].stores_received += 1
+        rt = ep.node.costs.runtime
+        yield self._rt_charge(ep, rt.reply_handling + 0.01 * len(frame.data))
+
+    def _h_bulk_store(self, ep: AMEndpoint, src: int, frame: AMFrame):
+        region, offset, dtype = frame.args
+        nid = ep.node.nid
+        values = np.frombuffer(frame.data, dtype=dtype)
+        self.memories[nid].store_block_gp(region, offset, values)
+        self._state[nid].stores_received += 1
+        yield self._rt_charge(ep, ep.node.costs.runtime.reply_handling)
+
+    # atomic RPC ------------------------------------------------------------
+    # Split-C's `atomic(foo, ...)`: run a registered function at the remote
+    # node.  The node is single-threaded, so atomicity is free — the
+    # asymmetry against CC++'s lock-paying atomic RMI is the point.
+
+    def register_rpc(self, name: str, fn: Callable[..., Any]) -> None:
+        """Register a function callable via ``SCProcess.atomic_rpc``.
+
+        ``fn(runtime, nid, *args)`` runs at the target; its return value is
+        shipped back.  Registration is global (same program image on every
+        node, per the SPMD model).
+        """
+        if name in self._rpc_fns:
+            raise RuntimeStateError(f"Split-C RPC {name!r} already registered")
+        self._rpc_fns[name] = fn
+
+    def _h_rpc(self, ep: AMEndpoint, src: int, frame: AMFrame):
+        name, fn_args, slot = frame.args
+        try:
+            fn = self._rpc_fns[name]
+        except KeyError:
+            raise RuntimeStateError(f"no Split-C RPC registered as {name!r}") from None
+        value = fn(self, ep.node.nid, *fn_args)
+        yield from ep.send_short(
+            src, "sc.reply_val", args=(slot, value), nbytes=_REPLY_VAL_BYTES
+        )
+
+    # barrier ---------------------------------------------------------------
+
+    def _h_barrier(self, ep: AMEndpoint, src: int, frame: AMFrame):
+        (epoch,) = frame.args
+        st = self._state[ep.node.nid]
+        if ep.node.nid != 0:
+            raise RuntimeStateError("barrier arrivals must target node 0")
+        if epoch != st.barrier_epoch:
+            raise RuntimeStateError(
+                f"barrier epoch skew: arrival for {epoch}, node 0 at {st.barrier_epoch}"
+            )
+        st.barrier_arrived += 1
+        yield from self._maybe_release_barrier(ep)
+
+    def _maybe_release_barrier(self, ep: AMEndpoint):
+        st = self._state[0]
+        # node 0 itself must also have arrived (flagged by SCProcess.barrier)
+        if st.barrier_arrived == self.nprocs:
+            epoch = st.barrier_epoch
+            st.barrier_arrived = 0
+            st.barrier_epoch += 1
+            st.barrier_released = epoch + 1
+            for nid in range(1, self.nprocs):
+                yield from ep.send_short(
+                    nid, "sc.barrier_go", args=(epoch,), nbytes=_BARRIER_BYTES
+                )
+
+    def _h_barrier_go(self, ep: AMEndpoint, src: int, frame: AMFrame):
+        (epoch,) = frame.args
+        st = self._state[ep.node.nid]
+        st.barrier_released = max(st.barrier_released, epoch + 1)
+        yield self._rt_charge(ep, ep.node.costs.runtime.sc_sync_check)
+
+    # --------------------------------------------------------------- running
+
+    def run_spmd(
+        self,
+        program: Callable[..., Generator[Any, Any, Any]],
+        *args: Any,
+        name: str = "splitc",
+    ) -> list[Any]:
+        """Launch ``program(proc, *args)`` on every node and run to
+        completion; returns the per-node return values in node order."""
+        threads = [
+            self.cluster.launch(
+                nid, program(self._procs[nid], *args), f"{name}@{nid}"
+            )
+            for nid in range(self.nprocs)
+        ]
+        self.cluster.run()
+        return [t.result for t in threads]

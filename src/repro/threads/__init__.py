@@ -1,0 +1,31 @@
+"""Non-preemptive user-level threads for the simulated machine.
+
+Stand-in for the paper's "lightweight, native, non-preemptive
+POSIX-compliant threads package".  Thread bodies are Python generators;
+they request machine actions by yielding :mod:`repro.sim.effects` objects,
+and call runtime services (locks, spawns, polls) as sub-generators with
+``yield from``.
+
+Costs are charged per operation from the node's
+:class:`~repro.machine.costs.ThreadCosts` — create ≈ 5 µs, context switch
+≈ 6 µs, lock/unlock/signal ≈ 0.4 µs on the SP2 profile — and counted, so
+Table 4's Yield/Create/Sync columns are measurements.
+"""
+
+from repro.threads.scheduler import Scheduler
+from repro.threads.sync import Condition, Lock, Semaphore, SyncCell
+from repro.threads.thread import ThreadState, UThread
+from repro.threads.api import join, spawn, yield_now
+
+__all__ = [
+    "Scheduler",
+    "UThread",
+    "ThreadState",
+    "Lock",
+    "Condition",
+    "Semaphore",
+    "SyncCell",
+    "spawn",
+    "join",
+    "yield_now",
+]

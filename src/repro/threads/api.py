@@ -1,0 +1,58 @@
+"""Thread services callable from simulated code (``yield from`` these)."""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from typing import Any
+
+from repro.errors import RuntimeStateError
+from repro.sim.account import Category, CounterNames
+from repro.sim.effects import Charge, Park, Switch
+from repro.threads.thread import UThread
+
+__all__ = ["spawn", "join", "yield_now", "current_thread"]
+
+
+def current_thread(node: Any) -> UThread:
+    """The thread currently executing on ``node``; error outside one."""
+    sched = node.scheduler
+    if sched is None or sched.current is None:
+        raise RuntimeStateError(
+            f"no thread is running on node {node.nid}; this service must be "
+            "called from simulated code"
+        )
+    return sched.current
+
+
+def spawn(
+    node: Any,
+    body: Generator[Any, Any, Any],
+    name: str = "",
+    *,
+    daemon: bool = False,
+) -> Generator[Any, Any, UThread]:
+    """Create a new thread on ``node`` running ``body``.
+
+    Charges the cost-model creation cost (5 µs on SP2) to THREAD_MGMT and
+    bumps the 'Create' counter — Table 4's Create column.
+    """
+    node.counters.inc(CounterNames.THREAD_CREATE)
+    yield Charge(node.costs.threads.create, Category.THREAD_MGMT)
+    return node.scheduler.make_thread(body, name, daemon=daemon)
+
+
+def join(node: Any, thr: UThread) -> Generator[Any, Any, Any]:
+    """Block until ``thr`` finishes; returns its body's return value."""
+    me = current_thread(node)
+    if thr is me:
+        raise RuntimeStateError(f"{thr.name} cannot join itself")
+    if thr.alive:
+        thr.add_join_waiter(me)
+        yield Park()
+    return thr.result
+
+
+def yield_now(node: Any) -> Generator[Any, Any, None]:
+    """Voluntarily give up the CPU (one context switch)."""
+    del node  # symmetry with the other services; cost comes from the effect
+    yield Switch()

@@ -1,0 +1,263 @@
+"""The per-node cooperative scheduler.
+
+Exactly one thread runs on a node at a time (non-preemptive, like the
+paper's threads package).  The scheduler interprets the effects a thread
+body yields:
+
+``Charge(us, cat)``
+    account ``us`` against ``cat`` and resume the same thread ``us`` later
+    (the node is busy for the duration; network deliveries still land in
+    the inbox).
+``Switch()``
+    voluntary yield: charge one context switch (THREAD_MGMT, counted as a
+    'Yield' for Table 4), requeue the thread, run the next ready one.
+``Park()``
+    block until :meth:`Scheduler.wake`.  The handoff to the next ready
+    thread is free — the paper's 6 µs context-switch cost is for switches
+    between *runnable* threads; blocking costs are carried by the sync
+    operations that cause them.
+``WaitInbox()``
+    sleep until the node's inbox is non-empty; the gap is charged to IDLE.
+
+Dispatch is driven by zero-delay simulator events so that wake-ups from
+message deliveries interleave deterministically with everything else.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Generator
+from typing import Any
+
+from repro.errors import SimulationError
+from repro.sim.account import Category, CounterNames
+from repro.sim.effects import Charge, Park, Switch, WaitInbox
+from repro.threads.thread import ThreadState, UThread
+
+__all__ = ["Scheduler"]
+
+
+class Scheduler:
+    """Owns the run queue and the trampoline for one node."""
+
+    def __init__(self, node: Any):
+        if node.scheduler is not None:
+            raise SimulationError(f"node {node.nid} already has a scheduler")
+        self.node = node
+        self.sim = node.sim
+        node.scheduler = self
+        self._ready: deque[UThread] = deque()
+        self.current: UThread | None = None
+        self._inbox_waiters: deque[UThread] = deque()
+        self._dispatch_pending = False
+        self._idle_since: float | None = None
+        #: threads that ever ran on this node (diagnostics)
+        self.threads: list[UThread] = []
+
+    # ------------------------------------------------------------- inspection
+
+    @property
+    def ready_count(self) -> int:
+        return len(self._ready)
+
+    def has_other_ready(self) -> bool:
+        """True if some thread besides the current one is ready to run.
+
+        Polling loops use this to decide between ``Switch`` (let others
+        run) and ``WaitInbox`` (nothing to do, sleep).
+        """
+        return bool(self._ready)
+
+    def blocked_threads(self) -> list[UThread]:
+        """All live threads that are neither ready nor running (diagnostics
+        for :class:`~repro.errors.DeadlockError`)."""
+        return [
+            t
+            for t in self.threads
+            if t.state in (ThreadState.PARKED, ThreadState.WAIT_INBOX)
+        ]
+
+    def live_nondaemon_count(self) -> int:
+        return sum(1 for t in self.threads if t.alive and not t.daemon)
+
+    # --------------------------------------------------------------- creation
+
+    def make_thread(
+        self,
+        gen: Generator[Any, Any, Any],
+        name: str = "",
+        *,
+        daemon: bool = False,
+    ) -> UThread:
+        """Wrap a generator as a thread, ready to run.  Charges nothing —
+        use :func:`repro.threads.spawn` from simulated code so the 5 µs
+        creation cost is paid."""
+        thr = UThread(self, gen, name, daemon=daemon)
+        self.threads.append(thr)
+        self._make_ready(thr)
+        return thr
+
+    # ---------------------------------------------------------------- wakeups
+
+    def wake(self, thr: UThread) -> None:
+        """Move a PARKED thread to the run queue."""
+        if thr.scheduler is not self:
+            raise SimulationError(
+                f"cannot wake {thr.name}: it belongs to node {thr.scheduler.node.nid}"
+            )
+        if thr.state is not ThreadState.PARKED:
+            raise SimulationError(f"wake() on {thr.name} in state {thr.state.value}")
+        self._make_ready(thr)
+
+    def on_message_arrival(self) -> None:
+        """Network delivery hook.
+
+        Wakes the *most recently* blocked inbox waiter — the hot thread, a
+        spinner in ``poll_until`` — to do the actual poll.  A successful
+        poll then calls :meth:`wake_all_inbox_waiters` so every other
+        waiter rechecks its predicate (broadcast semantics); waking them
+        all here would just make the cold polling thread race the spinner.
+        """
+        if self._inbox_waiters:
+            # Prefer the most recent NON-daemon waiter (a program thread
+            # spinning on a reply) over the daemon polling thread, so a
+            # spin-wait completes without dragging the pollster in.
+            waiter = None
+            for i in range(len(self._inbox_waiters) - 1, -1, -1):
+                if not self._inbox_waiters[i].daemon:
+                    waiter = self._inbox_waiters[i]
+                    del self._inbox_waiters[i]
+                    break
+            if waiter is None:
+                waiter = self._inbox_waiters.pop()
+            waiter.state = ThreadState.PARKED  # normalize for _make_ready
+            self._make_ready(waiter)
+        # Even with no waiters a dispatch may be due (idle node) — cheap
+        # no-op otherwise.
+        self._schedule_dispatch()
+
+    def wake_all_inbox_waiters(self) -> None:
+        """Release every inbox waiter (after a poll handled messages, so
+        predicates guarded by inbox activity get rechecked)."""
+        while self._inbox_waiters:
+            waiter = self._inbox_waiters.popleft()
+            waiter.state = ThreadState.PARKED
+            self._make_ready(waiter)
+
+    def _make_ready(self, thr: UThread) -> None:
+        if thr.state in (ThreadState.READY, ThreadState.RUNNING):
+            raise SimulationError(f"{thr.name} already {thr.state.value}")
+        if thr.state is ThreadState.DONE:
+            raise SimulationError(f"{thr.name} is done")
+        thr.state = ThreadState.READY
+        self._ready.append(thr)
+        self._end_idle()
+        self._schedule_dispatch()
+
+    # ------------------------------------------------------------ idle window
+
+    def _begin_idle(self) -> None:
+        if self._idle_since is None:
+            self._idle_since = self.sim.now
+
+    def _end_idle(self) -> None:
+        if self._idle_since is not None:
+            self.node.charge(Category.IDLE, self.sim.now - self._idle_since)
+            self._idle_since = None
+
+    # ------------------------------------------------------------- dispatching
+
+    def _schedule_dispatch(self, delay: float = 0.0) -> None:
+        if self._dispatch_pending:
+            return
+        self._dispatch_pending = True
+        self.sim.schedule(delay, self._dispatch)
+
+    def _dispatch(self) -> None:
+        self._dispatch_pending = False
+        if self.current is not None:
+            return  # a thread is mid-charge; its resume event continues it
+        if not self._ready:
+            self._begin_idle()
+            return
+        thr = self._ready.popleft()
+        self._end_idle()
+        thr.state = ThreadState.RUNNING
+        self.current = thr
+        self.node.tracer.record(self.sim.now, self.node.nid, "thread.run", thr.name)
+        self._step(thr, None)
+
+    def _resume_after_charge(self, thr: UThread) -> None:
+        if self.current is not thr:  # pragma: no cover - invariant guard
+            raise SimulationError("charge resume raced with another dispatch")
+        self._step(thr, None)
+
+    # ------------------------------------------------------------- trampoline
+
+    def _step(self, thr: UThread, send_value: Any) -> None:
+        """Advance ``thr`` until it suspends (charge/switch/park/wait) or
+        finishes.  Zero-cost effects are handled inline in the loop."""
+        costs = self.node.costs.threads
+        while True:
+            try:
+                effect = thr.gen.send(send_value)
+            except StopIteration as stop:
+                self._finish(thr, result=stop.value, exc=None)
+                return
+            except Exception as exc:  # simulated thread body crashed
+                self._finish(thr, result=None, exc=exc)
+                return
+            send_value = None
+
+            if type(effect) is Charge:
+                self.node.charge(effect.category, effect.us)
+                if effect.us == 0.0:
+                    continue
+                self.sim.schedule(effect.us, lambda t=thr: self._resume_after_charge(t))
+                return
+
+            if type(effect) is Switch:
+                self.node.charge(Category.THREAD_MGMT, costs.context_switch)
+                self.node.counters.inc(CounterNames.THREAD_YIELD)
+                thr.state = ThreadState.READY
+                self._ready.append(thr)
+                self.current = None
+                # the switch itself takes context_switch µs of CPU
+                self._schedule_dispatch(costs.context_switch)
+                return
+
+            if type(effect) is Park:
+                thr.state = ThreadState.PARKED
+                self.current = None
+                self._schedule_dispatch()
+                return
+
+            if type(effect) is WaitInbox:
+                if self.node.has_mail:
+                    continue  # something is already deliverable
+                thr.state = ThreadState.WAIT_INBOX
+                self._inbox_waiters.append(thr)
+                self.current = None
+                self._schedule_dispatch()
+                return
+
+            raise SimulationError(
+                f"thread {thr.name} yielded a non-effect: {effect!r} "
+                "(did a runtime call miss its 'yield from'?)"
+            )
+
+    def _finish(self, thr: UThread, *, result: Any, exc: BaseException | None) -> None:
+        self.node.tracer.record(self.sim.now, self.node.nid, "thread.done", thr.name)
+        thr.state = ThreadState.DONE
+        thr.result = result
+        thr.exception = exc
+        self.current = None
+        for waiter in thr.take_join_waiters():
+            self.wake(waiter)
+        self._schedule_dispatch()
+        if exc is not None:
+            # Simulated-code bugs must not be silently swallowed: re-raise
+            # out of the event loop so tests fail loudly.
+            raise SimulationError(
+                f"thread {thr.name} on node {self.node.nid} raised"
+            ) from exc

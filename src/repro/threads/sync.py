@@ -1,0 +1,226 @@
+"""Synchronization primitives: Lock, Condition, Semaphore, SyncCell.
+
+Each lock/unlock/signal call charges one ``sync_op`` (0.4 µs on the SP2
+profile) to THREAD_SYNC and bumps the Sync counter — these are the
+operations whose count the paper reports per micro-benchmark and whose
+aggregate it blames for 15–30 % of the application performance gap.
+
+Locks use direct handoff (release passes ownership to the first waiter),
+so acquisition order is FIFO — a property test relies on this.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Generator
+from typing import Any
+
+from repro.errors import RuntimeStateError
+from repro.sim.account import Category, CounterNames
+from repro.sim.effects import Charge, Park
+from repro.threads.api import current_thread
+from repro.threads.thread import UThread
+
+__all__ = ["Lock", "Condition", "Semaphore", "SyncCell"]
+
+
+def _sync_charge(node: Any) -> Charge:
+    node.counters.inc(CounterNames.THREAD_SYNC_OP)
+    return Charge(node.costs.threads.sync_op, Category.THREAD_SYNC)
+
+
+class Lock:
+    """Mutual exclusion with FIFO handoff."""
+
+    __slots__ = ("node", "name", "_owner", "_waiters")
+
+    def __init__(self, node: Any, name: str = "lock"):
+        self.node = node
+        self.name = name
+        self._owner: UThread | None = None
+        self._waiters: deque[UThread] = deque()
+
+    @property
+    def held(self) -> bool:
+        return self._owner is not None
+
+    @property
+    def owner(self) -> UThread | None:
+        return self._owner
+
+    def acquire(self) -> Generator[Any, Any, None]:
+        """Block until the lock is ours.  One sync op; contention parks."""
+        me = current_thread(self.node)
+        yield _sync_charge(self.node)
+        if self._owner is None:
+            self._owner = me
+            self.node.counters.inc(CounterNames.LOCK_UNCONTENDED)
+            return
+        if self._owner is me:
+            raise RuntimeStateError(f"{me.name} re-acquired non-reentrant {self.name}")
+        self.node.counters.inc(CounterNames.LOCK_CONTENDED)
+        self._waiters.append(me)
+        yield Park()
+        if self._owner is not me:  # pragma: no cover - invariant guard
+            raise RuntimeStateError(f"{self.name} handoff missed {me.name}")
+
+    def release(self) -> Generator[Any, Any, None]:
+        """Release; ownership is handed to the longest waiter, if any."""
+        me = current_thread(self.node)
+        if self._owner is not me:
+            raise RuntimeStateError(
+                f"{me.name} released {self.name} owned by "
+                f"{self._owner.name if self._owner else 'nobody'}"
+            )
+        yield _sync_charge(self.node)
+        if self._waiters:
+            heir = self._waiters.popleft()
+            self._owner = heir
+            self.node.scheduler.wake(heir)
+        else:
+            self._owner = None
+
+    def locked(self) -> Generator[Any, Any, "_LockContext"]:
+        """``yield from lock.locked()`` … then ``yield from ctx.exit()``.
+
+        (Generators cannot use ``with`` across yields, so the pattern is
+        explicit enter/exit; the runtimes wrap critical sections with it.)
+        """
+        yield from self.acquire()
+        return _LockContext(self)
+
+
+class _LockContext:
+    """Handle returned by :meth:`Lock.locked`."""
+
+    __slots__ = ("_lock",)
+
+    def __init__(self, lock: Lock):
+        self._lock = lock
+
+    def exit(self) -> Generator[Any, Any, None]:
+        yield from self._lock.release()
+
+
+class Condition:
+    """Condition variable bound to a :class:`Lock` (Mesa semantics)."""
+
+    __slots__ = ("lock", "node", "_waiters")
+
+    def __init__(self, lock: Lock):
+        self.lock = lock
+        self.node = lock.node
+        self._waiters: deque[UThread] = deque()
+
+    def wait(self) -> Generator[Any, Any, None]:
+        """Atomically release the lock and sleep; reacquire before return.
+
+        Callers must re-check their predicate in a loop (Mesa semantics:
+        another thread may run between the signal and the reacquire).
+        """
+        me = current_thread(self.node)
+        if self.lock.owner is not me:
+            raise RuntimeStateError(f"{me.name} waited on condition without the lock")
+        self._waiters.append(me)
+        yield from self.lock.release()
+        yield Park()
+        yield from self.lock.acquire()
+
+    def signal(self) -> Generator[Any, Any, None]:
+        """Wake one waiter (one sync op)."""
+        yield _sync_charge(self.node)
+        if self._waiters:
+            self.node.scheduler.wake(self._waiters.popleft())
+
+    def broadcast(self) -> Generator[Any, Any, None]:
+        """Wake every waiter (one sync op for the call)."""
+        yield _sync_charge(self.node)
+        while self._waiters:
+            self.node.scheduler.wake(self._waiters.popleft())
+
+    @property
+    def waiting(self) -> int:
+        return len(self._waiters)
+
+
+class Semaphore:
+    """Counting semaphore (used for AM flow-control credits)."""
+
+    __slots__ = ("node", "_count", "_waiters", "name")
+
+    def __init__(self, node: Any, initial: int, name: str = "sem"):
+        if initial < 0:
+            raise ValueError(f"semaphore initial count {initial} < 0")
+        self.node = node
+        self.name = name
+        self._count = initial
+        self._waiters: deque[UThread] = deque()
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def down(self) -> Generator[Any, Any, None]:
+        """P(): decrement, blocking while the count is zero."""
+        me = current_thread(self.node)
+        yield _sync_charge(self.node)
+        if self._count > 0:
+            self._count -= 1
+            return
+        self._waiters.append(me)
+        yield Park()
+        # the matching up() transferred its increment directly to us
+
+    def up(self) -> Generator[Any, Any, None]:
+        """V(): increment; hands the unit straight to the first waiter."""
+        yield _sync_charge(self.node)
+        if self._waiters:
+            self.node.scheduler.wake(self._waiters.popleft())
+        else:
+            self._count += 1
+
+
+class SyncCell:
+    """CC++ write-once *sync* variable.
+
+    Readers block until the single assignment happens; a second write is an
+    error (single-assignment semantics from the CC++ language definition).
+    """
+
+    __slots__ = ("node", "name", "_written", "_value", "_waiters")
+
+    def __init__(self, node: Any, name: str = "sync"):
+        self.node = node
+        self.name = name
+        self._written = False
+        self._value: Any = None
+        self._waiters: deque[UThread] = deque()
+
+    @property
+    def written(self) -> bool:
+        return self._written
+
+    def write(self, value: Any) -> Generator[Any, Any, None]:
+        """The single assignment; wakes all blocked readers."""
+        if self._written:
+            raise RuntimeStateError(f"sync variable {self.name} written twice")
+        yield _sync_charge(self.node)
+        self._value = value
+        self._written = True
+        while self._waiters:
+            self.node.scheduler.wake(self._waiters.popleft())
+
+    def read(self) -> Generator[Any, Any, Any]:
+        """Block until written, then return the value."""
+        if not self._written:
+            me = current_thread(self.node)
+            self._waiters.append(me)
+            yield Park()
+        yield _sync_charge(self.node)
+        return self._value
+
+    def peek(self) -> Any:
+        """Non-blocking read; error if unwritten (testing convenience)."""
+        if not self._written:
+            raise RuntimeStateError(f"sync variable {self.name} not yet written")
+        return self._value

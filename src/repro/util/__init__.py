@@ -1,0 +1,26 @@
+"""Small shared utilities: units, deterministic RNG, text tables, stats."""
+
+from repro.util.rng import make_rng
+from repro.util.stats import OnlineStats, geometric_mean, mean, percentile
+from repro.util.tables import TextTable
+from repro.util.units import (
+    US_PER_MS,
+    US_PER_S,
+    fmt_time_us,
+    us_to_ms,
+    us_to_s,
+)
+
+__all__ = [
+    "US_PER_MS",
+    "US_PER_S",
+    "fmt_time_us",
+    "us_to_ms",
+    "us_to_s",
+    "make_rng",
+    "TextTable",
+    "OnlineStats",
+    "mean",
+    "geometric_mean",
+    "percentile",
+]

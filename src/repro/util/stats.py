@@ -1,0 +1,108 @@
+"""Minimal statistics used by the experiment harness.
+
+The micro-benchmarks average over many iterations (the paper uses 10 000);
+:class:`OnlineStats` accumulates mean/variance in one pass without storing
+samples, Welford-style.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+
+
+def mean(xs: Sequence[float]) -> float:
+    """Arithmetic mean; raises ``ValueError`` on an empty sequence."""
+    if not xs:
+        raise ValueError("mean() of empty sequence")
+    return sum(xs) / len(xs)
+
+
+def geometric_mean(xs: Sequence[float]) -> float:
+    """Geometric mean of positive values (used for speedup summaries)."""
+    if not xs:
+        raise ValueError("geometric_mean() of empty sequence")
+    if any(x <= 0 for x in xs):
+        raise ValueError("geometric_mean() requires positive values")
+    return math.exp(sum(math.log(x) for x in xs) / len(xs))
+
+
+def percentile(xs: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile, ``q`` in [0, 100]."""
+    if not xs:
+        raise ValueError("percentile() of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q={q!r} out of [0, 100]")
+    ordered = sorted(xs)
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = (len(ordered) - 1) * q / 100.0
+    lo = math.floor(pos)
+    hi = math.ceil(pos)
+    frac = pos - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+class OnlineStats:
+    """One-pass mean/variance accumulator (Welford's algorithm)."""
+
+    __slots__ = ("_n", "_mean", "_m2", "_min", "_max")
+
+    def __init__(self) -> None:
+        self._n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def add(self, x: float) -> None:
+        """Fold one sample into the accumulator."""
+        self._n += 1
+        delta = x - self._mean
+        self._mean += delta / self._n
+        self._m2 += delta * (x - self._mean)
+        self._min = min(self._min, x)
+        self._max = max(self._max, x)
+
+    def extend(self, xs: Iterable[float]) -> None:
+        """Fold many samples into the accumulator."""
+        for x in xs:
+            self.add(x)
+
+    @property
+    def count(self) -> int:
+        return self._n
+
+    @property
+    def mean(self) -> float:
+        if self._n == 0:
+            raise ValueError("mean of empty OnlineStats")
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (ddof=1); zero for fewer than two samples."""
+        if self._n < 2:
+            return 0.0
+        return self._m2 / (self._n - 1)
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def min(self) -> float:
+        if self._n == 0:
+            raise ValueError("min of empty OnlineStats")
+        return self._min
+
+    @property
+    def max(self) -> float:
+        if self._n == 0:
+            raise ValueError("max of empty OnlineStats")
+        return self._max
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self._n == 0:
+            return "OnlineStats(empty)"
+        return f"OnlineStats(n={self._n}, mean={self._mean:.3f}, sd={self.stdev:.3f})"

@@ -1,0 +1,75 @@
+"""Plain-text table rendering for the experiment reports.
+
+The paper's evaluation consists of tables and stacked-bar figures; the
+harness renders both as aligned text tables (figures become one row per
+bar with one column per stack component), so every artifact is regenerable
+on a terminal with no plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+class TextTable:
+    """Accumulate rows, then render with aligned columns.
+
+    >>> t = TextTable(["name", "us"])
+    >>> t.add_row(["0-Word", 77.0])
+    >>> print(t.render())  # doctest: +NORMALIZE_WHITESPACE
+    name    | us
+    --------+-----
+    0-Word  | 77.0
+    """
+
+    def __init__(self, headers: Sequence[str], *, title: str | None = None):
+        if not headers:
+            raise ValueError("TextTable needs at least one column")
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: list[list[str]] = []
+
+    @staticmethod
+    def _fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.1f}"
+        return str(cell)
+
+    def add_row(self, cells: Sequence[object]) -> None:
+        """Append a row; cell count must match the header count."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append([self._fmt(c) for c in cells])
+
+    def add_separator(self) -> None:
+        """Append a horizontal rule between row groups."""
+        self.rows.append([])
+
+    def render(self) -> str:
+        """Render the table as a string (no trailing newline)."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def hrule() -> str:
+            return "-+-".join("-" * w for w in widths).replace(" ", "-")
+
+        def line(cells: Sequence[str]) -> str:
+            padded = [c.ljust(w) for c, w in zip(cells, widths)]
+            return " | ".join(padded).rstrip()
+
+        out: list[str] = []
+        if self.title:
+            out.append(self.title)
+            out.append("=" * len(self.title))
+        out.append(line(self.headers))
+        out.append(hrule())
+        for row in self.rows:
+            out.append(hrule() if not row else line(row))
+        return "\n".join(out)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,25 @@
+"""Shared test helpers."""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from typing import Any
+
+from repro.machine.cluster import Cluster
+from repro.machine.costs import SP2_COSTS, CostModel
+
+
+def run_bodies(
+    bodies: list[tuple[int, Generator[Any, Any, Any], str]],
+    *,
+    n_nodes: int = 2,
+    costs: CostModel = SP2_COSTS,
+    daemons: list[tuple[int, Generator[Any, Any, Any], str]] | None = None,
+) -> tuple[Cluster, list[Any]]:
+    """Run generator bodies as threads; returns (cluster, results)."""
+    cluster = Cluster(n_nodes, costs=costs)
+    for nid, gen, name in daemons or []:
+        cluster.launch(nid, gen, name, daemon=True)
+    threads = [cluster.launch(nid, gen, name) for nid, gen, name in bodies]
+    cluster.run()
+    return cluster, [t.result for t in threads]

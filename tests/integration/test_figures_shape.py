@@ -1,0 +1,123 @@
+"""Integration: Figures 5 and 6 reproduce the paper's shape.
+
+Shape = who wins, by roughly what factor, and where the orderings fall —
+not absolute wall-clock (our substrate is a simulator, not their SP)."""
+
+import pytest
+
+from repro.experiments import figure5, figure6
+
+PCTS = (0.1, 1.0)
+
+
+@pytest.fixture(scope="module")
+def fig5():
+    return figure5.run(quick=True, pcts=PCTS, steps=1)
+
+
+@pytest.fixture(scope="module")
+def fig6():
+    return figure6.run(quick=True)
+
+
+class TestFigure5:
+    def test_ccpp_never_beats_splitc(self, fig5):
+        for key, row in fig5.rows.items():
+            if key[2] == "ccpp":
+                assert row.normalized >= 1.0, key
+
+    def test_base_ratio_in_band_and_decreasing(self, fig5):
+        """Base converges down toward ~2x as remote fraction grows; the
+        low-remote gap comes from local global-pointer dereferences."""
+        low = fig5.ratio("base", 0.1)
+        high = fig5.ratio("base", 1.0)
+        assert low > high
+        assert 1.4 <= high <= 2.6
+
+    def test_ghost_ratio_near_two_and_a_half(self, fig5):
+        assert 1.8 <= fig5.ratio("ghost", 1.0) <= 3.2
+
+    def test_bulk_ratio_closest_to_parity(self, fig5):
+        assert fig5.ratio("bulk", 1.0) <= fig5.ratio("ghost", 1.0)
+
+    def test_ghost_beats_base_both_languages(self, fig5):
+        """'em3d-ghost reduces the execution time of em3d-base by 87-89%'
+        at 100% remote (we assert >=60% on the reduced workload)."""
+        for lang in ("splitc", "ccpp"):
+            base = fig5.per_edge_us[("base", 1.0, lang)]
+            ghost = fig5.per_edge_us[("ghost", 1.0, lang)]
+            assert ghost < 0.4 * base, lang
+
+    def test_bulk_beats_ghost_both_languages(self, fig5):
+        for lang in ("splitc", "ccpp"):
+            ghost = fig5.per_edge_us[("ghost", 1.0, lang)]
+            bulk = fig5.per_edge_us[("bulk", 1.0, lang)]
+            assert bulk < ghost, lang
+
+    def test_splitc_breakdown_has_no_thread_time(self, fig5):
+        for key, row in fig5.rows.items():
+            if key[2] == "splitc":
+                frac = row.component_fractions()
+                assert frac["thread mgmt"] == 0.0
+                assert frac["thread sync"] == 0.0
+
+    def test_ccpp_breakdown_contains_all_components(self, fig5):
+        row = fig5.rows[("base", 1.0, "ccpp")]
+        frac = row.component_fractions()
+        for component in ("net", "thread mgmt", "thread sync", "runtime"):
+            assert frac[component] > 0.0, component
+
+    def test_render_includes_every_bar(self, fig5):
+        text = fig5.render()
+        for version in ("base", "ghost", "bulk"):
+            assert f"em3d-{version}" in text
+
+
+class TestFigure6:
+    def test_ccpp_gaps_in_paper_band(self, fig6):
+        """Applications perform 'within a factor of 2 to 6 of Split-C'."""
+        for label in fig6.labels():
+            ratio = fig6.ratio(label)
+            assert 1.0 <= ratio <= 7.0, f"{label}: {ratio:.2f}"
+
+    def test_water_gap_grows_with_input(self, fig6):
+        sizes = sorted(
+            {int(label.rsplit(" ", 1)[1]) for label in fig6.labels() if "water-atomic" in label}
+        )
+        small, large = sizes[0], sizes[-1]
+        assert fig6.ratio(f"water-atomic {large}") >= fig6.ratio(
+            f"water-atomic {small}"
+        ) - 0.3
+
+    def test_prefetch_improves_both_languages(self, fig6):
+        sizes = {int(label.rsplit(" ", 1)[1]) for label in fig6.labels() if "water-" in label}
+        for n in sizes:
+            for lang in ("splitc", "ccpp"):
+                atomic = fig6.rows[(f"water-atomic {n}", lang)].elapsed_us
+                prefetch = fig6.rows[(f"water-prefetch {n}", lang)].elapsed_us
+                assert prefetch < atomic, (n, lang)
+
+    def test_prefetch_narrows_the_gap(self, fig6):
+        """water-prefetch closes part of water-atomic's CC++ gap."""
+        sizes = {int(label.rsplit(" ", 1)[1]) for label in fig6.labels() if "water-" in label}
+        n = max(sizes)
+        assert fig6.ratio(f"water-prefetch {n}") < fig6.ratio(f"water-atomic {n}")
+
+    def test_lu_gap_band(self, fig6):
+        labels = [l for l in fig6.labels() if l.startswith("lu")]
+        assert labels, "LU missing from figure 6"
+        assert 1.1 <= fig6.ratio(labels[0]) <= 5.0
+
+    def test_ccpp_sync_share_present_in_lu(self, fig6):
+        """The paper attributes ~32% of the (full-size) LU *gap* to
+        synchronization; on the reduced workload we assert the component
+        exists and that Split-C pays none of it."""
+        label = [l for l in fig6.labels() if l.startswith("lu")][0]
+        cc = fig6.rows[(label, "ccpp")].component_fractions()
+        sc = fig6.rows[(label, "splitc")].component_fractions()
+        assert cc["thread sync"] + cc["thread mgmt"] > 0.004
+        assert sc["thread sync"] == 0.0 and sc["thread mgmt"] == 0.0
+
+    def test_render_lists_every_app(self, fig6):
+        text = fig6.render()
+        assert "water-atomic" in text and "water-prefetch" in text and "lu" in text

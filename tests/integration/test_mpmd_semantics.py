@@ -1,0 +1,154 @@
+"""Integration: MPMD-specific semantics the paper's model promises.
+
+* processor-object *types can be inherited* (§2) — calls through a
+  base-class-typed global pointer dispatch to the derived object;
+* genuinely different programs per node (the M in MPMD);
+* dynamic task creation with irregular communication (a mini task farm);
+* one messaging layer per cluster is enforced, loudly.
+"""
+
+import pytest
+
+from repro.ccpp import (
+    CCppRuntime,
+    ObjectGlobalPtr,
+    ProcessorObject,
+    processor_class,
+    remote,
+)
+from repro.errors import SimulationError
+from repro.machine.cluster import Cluster
+
+
+@processor_class
+class Shape(ProcessorObject):
+    def __init__(self, scale=1.0):
+        self.scale = scale
+
+    @remote(threaded=True)
+    def area(self):
+        return 0.0
+
+    @remote
+    def describe(self):
+        return "shape"
+
+
+@processor_class
+class Square(Shape):
+    def __init__(self, side):
+        super().__init__()
+        self.side = side
+
+    @remote(threaded=True)
+    def area(self):
+        return self.side * self.side
+
+    @remote
+    def describe(self):
+        return "square"
+
+
+class TestInheritance:
+    def test_base_typed_pointer_dispatches_to_derived(self):
+        """The paper: 'Processor object types can be inherited.'"""
+        rt = CCppRuntime(Cluster(2))
+
+        def program(ctx):
+            sq = yield from ctx.create(1, Square, 3.0)
+            as_base = sq.as_type("Shape")  # static upcast
+            area = yield from ctx.rmi(as_base, "area")
+            label = yield from ctx.rmi(as_base, "describe")
+            return (area, label)
+
+        t = rt.launch(0, program)
+        rt.run()
+        assert t.result == (9.0, "square")  # dynamic dispatch, not Shape's
+
+    def test_base_class_instances_still_work(self):
+        rt = CCppRuntime(Cluster(2))
+
+        def program(ctx):
+            sh = yield from ctx.create(1, Shape, 2.0)
+            return (yield from ctx.rmi(sh, "describe"))
+
+        t = rt.launch(0, program)
+        rt.run()
+        assert t.result == "shape"
+
+
+@processor_class
+class WorkQueue(ProcessorObject):
+    def __init__(self, items):
+        self.items = list(items)
+        self.results = []
+
+    @remote(atomic=True)
+    def take(self):
+        return self.items.pop() if self.items else None
+
+    @remote(atomic=True)
+    def give(self, value):
+        self.results.append(value)
+        return None
+
+
+class TestHeterogeneousPrograms:
+    def test_different_programs_per_node(self):
+        """One producer node, two differently-behaved consumer nodes."""
+        rt = CCppRuntime(Cluster(3))
+        q_id = rt._create_local(0, "WorkQueue", (list(range(10)),))
+        q = ObjectGlobalPtr(0, q_id, "WorkQueue")
+        stats = {}
+
+        def doubler(ctx):
+            n = 0
+            while True:
+                item = yield from ctx.rmi(q, "take")
+                if item is None:
+                    break
+                yield from ctx.rmi(q, "give", 2 * item)
+                n += 1
+            stats["doubler"] = n
+
+        def negator(ctx):
+            n = 0
+            while True:
+                item = yield from ctx.rmi(q, "take")
+                if item is None:
+                    break
+                yield from ctx.rmi(q, "give", -item)
+                n += 1
+            stats["negator"] = n
+
+        rt.launch(1, doubler, "doubler")
+        rt.launch(2, negator, "negator")
+        rt.run()
+
+        queue = rt.object_table(0).get(q_id)
+        assert len(queue.results) == 10
+        assert stats["doubler"] + stats["negator"] == 10
+        # both workers actually participated (dynamic load balance)
+        assert stats["doubler"] > 0 and stats["negator"] > 0
+        # every result is either doubled or negated original work
+        originals = set(range(10))
+        for r in queue.results:
+            assert r / 2 in originals or -r in originals
+
+
+class TestLayerExclusivity:
+    def test_two_messaging_layers_rejected(self):
+        """AM and MPL cannot share a cluster's inboxes."""
+        from repro.am import install_am
+        from repro.mpl import install_mpl
+
+        cluster = Cluster(2)
+        install_am(cluster)
+        with pytest.raises(SimulationError):
+            install_mpl(cluster)  # service name clash is caught at attach
+
+    def test_two_ccpp_runtimes_rejected(self):
+        cluster = Cluster(2)
+        CCppRuntime(cluster)
+        with pytest.raises(SimulationError):
+            CCppRuntime(cluster)

@@ -1,0 +1,92 @@
+"""Integration: the Nexus comparison and the ablation studies."""
+
+import pytest
+
+from repro.experiments import ablations, nexus_compare
+
+
+@pytest.fixture(scope="module")
+def nexus():
+    return nexus_compare.run(quick=True)
+
+
+@pytest.fixture(scope="module")
+def ab():
+    return ablations.run(iters=15)
+
+
+class TestNexusComparison:
+    def test_every_workload_faster_under_tham(self, nexus):
+        for label in nexus.tham_us:
+            assert nexus.speedup(label) > 3.0, label
+
+    def test_speedups_in_paper_envelope(self, nexus):
+        """'improvements of 5 to 35-fold' — allow headroom on the reduced
+        workloads, but the envelope must be the same order."""
+        for label in nexus.tham_us:
+            assert 4.0 <= nexus.speedup(label) <= 60.0, (
+                label,
+                nexus.speedup(label),
+            )
+
+    def test_compute_bound_lu_near_5x(self, nexus):
+        assert 4.0 <= nexus.speedup("lu") <= 8.0
+
+    def test_em3d_base_near_35x(self, nexus):
+        assert 25.0 <= nexus.speedup("em3d-base") <= 50.0
+
+    def test_comm_bound_beats_compute_bound(self, nexus):
+        """The more communication-bound, the bigger ThAM's win."""
+        assert nexus.speedup("em3d-base") > nexus.speedup("lu")
+        assert nexus.speedup("water-atomic 64") > nexus.speedup("lu")
+
+    def test_render_mentions_paper_bands(self, nexus):
+        text = nexus.render()
+        assert "35x" in text and "5-6x" in text
+
+
+class TestAblations:
+    def _row(self, ab, name):
+        for row in ab.rows:
+            if row[0] == name:
+                return row
+        raise AssertionError(f"missing ablation {name}")
+
+    def test_stub_caching_saves_time(self, ab):
+        _, _, on, off = self._row(ab, "stub caching")
+        # cold path pays callee-side name resolution + name bytes on the
+        # wire every call (~4-5 us for a 0-word RMI)
+        assert off > on + 3.0
+
+    def test_persistent_buffers_save_time(self, ab):
+        _, _, on, off = self._row(ab, "persistent buffers")
+        assert off > on
+
+    def test_lock_cost_sweep_monotone(self, ab):
+        _, _, free, heavy = self._row(ab, "lock cost 0 vs 4 us")
+        assert heavy > free + 10.0  # ~15 sync ops x 3.6 us diff
+
+    def test_preemptive_threads_hurt(self, ab):
+        _, _, light, heavy = self._row(ab, "preemptive threads")
+        assert heavy > light + 30.0
+
+    def test_interrupt_reception_hurts(self, ab):
+        _, _, polled, interrupt = self._row(ab, "interrupt reception")
+        assert interrupt > polled + 50.0
+
+    def test_lock_acquisitions_mostly_contentionless(self, ab):
+        """The paper's '95% of lock acquisitions are contention-less'."""
+        assert ab.contentionless_fraction >= 0.90
+
+    def test_interrupt_sweep_monotone_toward_polling(self, ab):
+        """§6 future work: as software interrupts get cheaper, interrupt
+        reception approaches (and would eventually displace) the polling
+        discipline."""
+        costs = sorted(ab.interrupt_sweep)
+        times = [ab.interrupt_sweep[c] for c in costs]
+        assert times == sorted(times), "cheaper interrupts must be faster"
+        # at ~2 us per interrupt the gap to polling is nearly closed
+        assert ab.interrupt_sweep[costs[0]] - ab.polling_baseline_us < 10.0
+
+    def test_render_contains_census(self, ab):
+        assert "contention-less" in ab.render()

@@ -1,0 +1,26 @@
+"""Integration: the reproduction scorecard grades every claim green."""
+
+import pytest
+
+from repro.experiments import scorecard
+
+
+@pytest.fixture(scope="module")
+def card():
+    return scorecard.run(quick=True, iters=15)
+
+
+def test_every_claim_reproduced(card):
+    misses = [c.claim for c in card.checks if not c.ok]
+    assert not misses, f"claims outside band: {misses}"
+
+
+def test_scorecard_covers_all_artifacts(card):
+    text = card.render()
+    for marker in ("T4 ", "em3d-", "F6 ", "Nexus", "contention", "200x"):
+        assert marker in text, marker
+
+
+def test_scorecard_counts(card):
+    assert card.passed == len(card.checks) >= 30
+    assert card.all_ok

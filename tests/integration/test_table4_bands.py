@@ -1,0 +1,146 @@
+"""Integration: Table 4 micro-benchmarks land in the paper's bands.
+
+Absolute-value assertions use generous tolerances (±15 % unless noted);
+the *orderings* between rows — which mechanism costs more than which —
+are asserted tightly, because they are the paper's actual claims.
+"""
+
+import pytest
+
+from repro.experiments import paper
+from repro.experiments.microbench import (
+    am_base_rtt,
+    mpl_rtt,
+    run_cc_microbench,
+    run_sc_microbench,
+)
+
+_ITERS = 25
+
+
+@pytest.fixture(scope="module")
+def cc():
+    return {
+        name: run_cc_microbench(name, iters=_ITERS)
+        for name in paper.TABLE4
+    }
+
+
+@pytest.fixture(scope="module")
+def sc():
+    return {
+        name: run_sc_microbench(name, iters=_ITERS)
+        for name in (
+            "0-Word Atomic",
+            "GP 2-Word R/W",
+            "BulkWrite 40-Word",
+            "BulkRead 40-Word",
+            "Prefetch 20-Word",
+        )
+    }
+
+
+class TestReferences:
+    def test_am_rtt_is_55us(self):
+        assert am_base_rtt(iters=_ITERS) == pytest.approx(55.0, rel=0.05)
+
+    def test_mpl_rtt_is_88us(self):
+        assert mpl_rtt(iters=_ITERS) == pytest.approx(88.0, rel=0.05)
+
+
+class TestCCAbsolutes:
+    @pytest.mark.parametrize(
+        "name",
+        list(paper.TABLE4),
+    )
+    def test_total_within_band(self, cc, name):
+        measured = cc[name].total_us
+        published = paper.TABLE4[name].cc_total
+        assert measured == pytest.approx(published, rel=0.15), (
+            f"{name}: measured {measured:.1f} vs paper {published}"
+        )
+
+
+class TestSCAbsolutes:
+    @pytest.mark.parametrize(
+        "name",
+        ["0-Word Atomic", "GP 2-Word R/W", "BulkWrite 40-Word", "BulkRead 40-Word", "Prefetch 20-Word"],
+    )
+    def test_total_within_band(self, sc, name):
+        measured = sc[name].total_us
+        published = paper.TABLE4[name].sc_total
+        assert measured == pytest.approx(published, rel=0.15)
+
+
+class TestOrderings:
+    """The qualitative content of Table 4."""
+
+    def test_null_rmi_close_to_am_and_beats_mpl(self, cc):
+        """'only 12 us slower than the base AM round trip and 21 us
+        faster than IBM MPL'."""
+        simple = cc["0-Word Simple"].total_us
+        am = am_base_rtt(iters=_ITERS)
+        mpl = mpl_rtt(iters=_ITERS)
+        assert 5.0 <= simple - am <= 20.0
+        assert simple < mpl - 10.0
+
+    def test_variants_scale_with_thread_operations(self, cc):
+        assert cc["0-Word Simple"].total_us < cc["0-Word"].total_us
+        assert cc["0-Word"].total_us < cc["0-Word Threaded"].total_us
+        assert cc["0-Word Threaded"].total_us <= cc["0-Word Atomic"].total_us + 1.0
+
+    def test_argument_bearing_rmi_pays_bulk_path(self, cc):
+        """1-Word jumps ~15 us above 0-Word (the AM bulk primitive)."""
+        jump = cc["1-Word"].am_us - cc["0-Word"].am_us
+        assert 8.0 <= jump <= 20.0
+
+    def test_bulk_read_pays_more_than_bulk_write(self, cc):
+        """The double copy at the initiator."""
+        assert (
+            cc["BulkRead 40-Word"].runtime_us
+            > cc["BulkWrite 40-Word"].runtime_us + 5.0
+        )
+
+    def test_prefetch_hides_latency_but_less_than_splitc(self, cc, sc):
+        """Per-element prefetch beats blocking GP reads in both languages,
+        but thread overhead blunts CC++'s gain (the paper's point)."""
+        assert cc["Prefetch 20-Word"].total_us < 0.6 * cc["GP 2-Word R/W"].total_us
+        assert sc["Prefetch 20-Word"].total_us < 0.4 * sc["GP 2-Word R/W"].total_us
+        cc_gain = cc["GP 2-Word R/W"].total_us / cc["Prefetch 20-Word"].total_us
+        sc_gain = sc["GP 2-Word R/W"].total_us / sc["Prefetch 20-Word"].total_us
+        assert sc_gain > cc_gain
+
+    def test_splitc_cheaper_than_ccpp_everywhere(self, cc, sc):
+        for name in sc:
+            assert sc[name].total_us < cc[name].total_us
+
+
+class TestThreadOpCounts:
+    """Table 4's Yield/Create/Sync columns, measured not assumed."""
+
+    def test_simple_has_no_thread_switches(self, cc):
+        row = cc["0-Word Simple"]
+        assert row.yields == 0
+        assert row.creates == 0
+
+    def test_normal_has_one_switch_at_sender(self, cc):
+        assert cc["0-Word"].yields == pytest.approx(1.0)
+        assert cc["0-Word"].creates == 0
+
+    def test_threaded_creates_one_thread(self, cc):
+        row = cc["0-Word Threaded"]
+        assert row.creates == pytest.approx(1.0)
+        assert row.yields == pytest.approx(2.0)
+
+    def test_atomic_adds_sync_ops_over_threaded(self, cc):
+        assert cc["0-Word Atomic"].syncs > cc["0-Word Threaded"].syncs
+
+    def test_sync_counts_in_paper_range(self, cc):
+        for name in paper.TABLE4:
+            assert 8.0 <= cc[name].syncs <= 25.0, name
+
+    def test_splitc_pays_zero_thread_ops(self, sc):
+        for name, row in sc.items():
+            assert row.yields == 0, name
+            assert row.creates == 0, name
+            assert row.syncs == 0, name

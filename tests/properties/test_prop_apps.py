@@ -1,0 +1,52 @@
+"""Property tests: application correctness over randomized workloads.
+
+These are the heavyweight invariants: for arbitrary (small) problem
+instances, the distributed runs must agree with the sequential
+references bit-for-bit-ish (same operation order => tight tolerances).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.em3d import Em3dGraph, Em3dParams, reference_steps, run_splitc_em3d
+from repro.apps.lu import LuParams, LuWorkload, reference_lu, run_splitc_lu
+from repro.apps.water import WaterParams, WaterSystem, reference_water, run_splitc_water
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=10_000),
+    st.sampled_from([0.0, 0.3, 1.0]),
+    st.sampled_from(["base", "ghost", "bulk"]),
+)
+def test_em3d_splitc_agrees_with_reference(seed, pct, version):
+    graph = Em3dGraph(
+        Em3dParams(n_nodes=32, degree=3, n_procs=4, pct_remote=pct, seed=seed)
+    )
+    ref = reference_steps(graph, 2)
+    res = run_splitc_em3d(graph, steps=2, version=version, warmup_steps=0)
+    assert np.allclose(res.values, ref)
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=10_000),
+    st.sampled_from(["atomic", "prefetch"]),
+)
+def test_water_splitc_agrees_with_reference(seed, version):
+    system = WaterSystem(WaterParams(n_molecules=8, n_procs=4, steps=2, seed=seed))
+    ref_pos, ref_vel, ref_pot = reference_water(system, 2)
+    res = run_splitc_water(system, version=version)
+    assert np.allclose(res.positions, ref_pos)
+    assert np.allclose(res.velocities, ref_vel)
+    assert np.isclose(res.potential, ref_pot)
+
+
+@settings(max_examples=6, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_lu_splitc_agrees_with_reference(seed):
+    work = LuWorkload(LuParams(n=24, block=8, n_procs=4, seed=seed))
+    ref = reference_lu(work)
+    res = run_splitc_lu(work)
+    assert np.allclose(res.packed, ref)

@@ -1,0 +1,86 @@
+"""Property tests: the discrete-event engine."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Simulator
+
+delays = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=60,
+)
+
+
+@given(delays)
+def test_events_fire_in_nondecreasing_time_order(ds):
+    sim = Simulator()
+    fired_times = []
+    for d in ds:
+        sim.schedule(d, lambda: fired_times.append(sim.now))
+    sim.run()
+    assert fired_times == sorted(fired_times)
+    assert len(fired_times) == len(ds)
+
+
+@given(delays)
+def test_clock_never_goes_backwards_with_nesting(ds):
+    sim = Simulator()
+    observed = []
+
+    def chain(remaining):
+        observed.append(sim.now)
+        if remaining:
+            sim.schedule(remaining[0], lambda: chain(remaining[1:]))
+
+    sim.schedule(0.0, lambda: chain(list(ds)))
+    sim.run()
+    assert observed == sorted(observed)
+
+
+@given(delays, st.data())
+def test_cancelled_subset_never_fires(ds, data):
+    sim = Simulator()
+    fired = []
+    events = [
+        sim.schedule(d, lambda i=i: fired.append(i)) for i, d in enumerate(ds)
+    ]
+    to_cancel = data.draw(
+        st.sets(st.integers(min_value=0, max_value=len(ds) - 1))
+    )
+    for i in to_cancel:
+        events[i].cancel()
+    sim.run()
+    assert set(fired) == set(range(len(ds))) - to_cancel
+
+
+@given(st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=40))
+def test_fifo_among_equal_timestamps(groups):
+    """Events at identical times fire in scheduling order."""
+    sim = Simulator()
+    fired = []
+    for seq, t in enumerate(groups):
+        sim.schedule(float(t), lambda s=seq, tt=t: fired.append((tt, s)))
+    sim.run()
+    assert fired == sorted(fired)
+
+
+@settings(max_examples=25)
+@given(delays)
+def test_run_until_is_resumable_and_equivalent(ds):
+    """Chunked runs produce the same final state as one run."""
+    one = Simulator()
+    fired_one = []
+    for d in ds:
+        one.schedule(d, lambda d=d: fired_one.append(d))
+    one.run()
+
+    two = Simulator()
+    fired_two = []
+    for d in ds:
+        two.schedule(d, lambda d=d: fired_two.append(d))
+    horizon = max(ds) / 2
+    two.run(until=horizon)
+    two.run()
+    assert fired_one == fired_two
+    assert one.now == two.now

@@ -1,0 +1,68 @@
+"""Property tests: data-layout bijections (spread arrays, LU geometry,
+EM3D slots)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.lu.blocked import LuParams, LuWorkload
+from repro.splitc.memory import SpreadArray
+
+
+@given(
+    st.integers(min_value=0, max_value=200),
+    st.integers(min_value=1, max_value=16),
+    st.sampled_from(["cyclic", "block"]),
+)
+def test_spread_array_locate_is_bijective(total, nodes, layout):
+    sp = SpreadArray("s", total, nodes, layout=layout)
+    seen = set()
+    for i in range(total):
+        node, off = sp.locate(i)
+        assert 0 <= node < nodes
+        assert 0 <= off < sp.local_size(node)
+        assert (node, off) not in seen
+        seen.add((node, off))
+    assert sum(sp.local_size(q) for q in range(nodes)) == total
+
+
+@given(
+    st.integers(min_value=0, max_value=120),
+    st.integers(min_value=1, max_value=8),
+)
+def test_spread_ptr_matches_locate(total, nodes):
+    sp = SpreadArray("s", total, nodes)
+    for i in range(total):
+        gp = sp.ptr(i)
+        assert (gp.node, gp.offset) == sp.locate(i)
+        assert gp.region == "s"
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.sampled_from([(16, 4), (32, 8), (48, 8), (64, 16)]),
+    st.sampled_from([1, 2, 4]),
+)
+def test_lu_block_geometry_consistent(shape, n_procs):
+    n, block = shape
+    work = LuWorkload(LuParams(n=n, block=block, n_procs=n_procs, seed=1))
+    b = work.params.n_blocks
+    # every block owned exactly once, offsets distinct per owner
+    per_owner_offsets = {}
+    for i in range(b):
+        for j in range(b):
+            q = work.owner(i, j)
+            off = work.block_offset(i, j)
+            per_owner_offsets.setdefault(q, set())
+            assert off not in per_owner_offsets[q]
+            per_owner_offsets[q].add(off)
+    for q in range(n_procs):
+        assert len(work.owned_blocks(q)) == len(per_owner_offsets.get(q, set()))
+    # panel + interior work at each step covers exactly the trailing blocks
+    for k in range(b):
+        panels = sum(
+            len(work.panel_rows(q, k)) + len(work.panel_cols(q, k))
+            for q in range(n_procs)
+        )
+        interior = sum(len(work.interior_blocks(q, k)) for q in range(n_procs))
+        assert panels == 2 * (b - k - 1)
+        assert interior == (b - k - 1) ** 2

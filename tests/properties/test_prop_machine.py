@@ -1,0 +1,103 @@
+"""Property tests: machine-level invariants (message conservation, time
+accounting, determinism) over randomized communication workloads."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.am import install_am
+from repro.machine.cluster import Cluster
+from repro.sim.account import Category
+from repro.sim.effects import Charge
+
+# a workload: each entry is (sender, receiver, compute_us before sending)
+workloads = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=2),
+        st.integers(min_value=0, max_value=2),
+        st.floats(min_value=0.0, max_value=50.0),
+    ),
+    min_size=1,
+    max_size=15,
+)
+
+
+def _run_workload(ops):
+    cluster = Cluster(3)
+    eps = install_am(cluster)
+    handled = []
+
+    def h(ep, src, frame):
+        handled.append((src, ep.node.nid))
+        return
+        yield
+
+    for ep in eps:
+        ep.register_handler("h", h)
+
+    def server(node):
+        ep = node.service("am")
+        while True:
+            yield from ep.wait_and_poll()
+
+    by_sender: dict[int, list] = {}
+    for sender, receiver, compute in ops:
+        by_sender.setdefault(sender, []).append((receiver, compute))
+
+    def sender_body(node, plan):
+        ep = node.service("am")
+        for receiver, compute in plan:
+            if compute:
+                yield Charge(compute, Category.CPU)
+            yield from ep.send_short(receiver, "h", nbytes=16)
+
+    for nid in range(3):
+        cluster.launch(nid, server(cluster.nodes[nid]), daemon=True)
+    for sender, plan in by_sender.items():
+        cluster.launch(sender, sender_body(cluster.nodes[sender], plan))
+    cluster.run()
+    return cluster, handled
+
+
+@settings(max_examples=40, deadline=None)
+@given(workloads)
+def test_every_message_sent_is_handled_exactly_once(ops):
+    cluster, handled = _run_workload(ops)
+    assert len(handled) == len(ops)
+    assert cluster.network.packets_sent == cluster.network.packets_delivered
+    assert all(not n.has_mail for n in cluster.nodes)
+
+
+@settings(max_examples=40, deadline=None)
+@given(workloads)
+def test_charged_time_never_exceeds_elapsed(ops):
+    cluster, _ = _run_workload(ops)
+    elapsed = cluster.sim.now
+    for node in cluster.nodes:
+        busy = node.account.total(include_idle=False)
+        assert busy <= elapsed + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(workloads)
+def test_cpu_charges_are_conserved(ops):
+    """Application CPU charged equals the CPU the workload specified."""
+    cluster, _ = _run_workload(ops)
+    expected = sum(compute for _, _, compute in ops)
+    total_cpu = sum(n.account.get(Category.CPU) for n in cluster.nodes)
+    assert total_cpu <= expected + 1e-6
+    assert total_cpu >= expected - 1e-6
+
+
+@settings(max_examples=25, deadline=None)
+@given(workloads)
+def test_simulation_is_deterministic(ops):
+    a_cluster, a_handled = _run_workload(ops)
+    b_cluster, b_handled = _run_workload(ops)
+    assert a_cluster.sim.now == b_cluster.sim.now
+    assert a_handled == b_handled
+    assert (
+        a_cluster.aggregate_counters().snapshot()
+        == b_cluster.aggregate_counters().snapshot()
+    )
+    for an, bn in zip(a_cluster.nodes, b_cluster.nodes):
+        assert an.account.snapshot() == bn.account.snapshot()

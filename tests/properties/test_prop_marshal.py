@@ -1,0 +1,60 @@
+"""Property tests: marshalling round-trips arbitrary argument tuples."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.marshal import marshal_args, unmarshal_args
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**62), max_value=2**62),
+    st.floats(allow_nan=False, allow_infinity=True),
+    st.text(max_size=40),
+    st.binary(max_size=40),
+)
+
+trees = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.tuples(children, children),
+        st.dictionaries(st.text(max_size=8), children, max_size=3),
+    ),
+    max_leaves=12,
+)
+
+
+@settings(max_examples=150)
+@given(st.lists(trees, max_size=5).map(tuple))
+def test_args_roundtrip_exactly(args):
+    payload, n = marshal_args(args)
+    assert n == len(args)
+    assert unmarshal_args(payload) == args
+
+
+@settings(max_examples=60)
+@given(
+    arrays(
+        dtype=st.sampled_from([np.float64, np.int64, np.int32, np.uint8]),
+        shape=st.tuples(st.integers(0, 8), st.integers(0, 8)),
+        elements=st.integers(min_value=0, max_value=100),
+    )
+)
+def test_ndarray_roundtrip_preserves_dtype_shape_values(arr):
+    payload, _ = marshal_args((arr,))
+    (out,) = unmarshal_args(payload)
+    assert out.dtype == arr.dtype
+    assert out.shape == arr.shape
+    assert np.array_equal(out, arr)
+
+
+@settings(max_examples=60)
+@given(st.lists(st.floats(allow_nan=False, allow_infinity=False), max_size=30))
+def test_payload_size_monotone_in_content(xs):
+    """More arguments never shrink the payload."""
+    smaller, _ = marshal_args(tuple(xs))
+    larger, _ = marshal_args(tuple(xs) + (1.0,))
+    assert len(larger) > len(smaller) or not xs

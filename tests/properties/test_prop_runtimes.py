@@ -1,0 +1,155 @@
+"""Property tests over the language runtimes themselves."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ccpp import CCppRuntime, ProcessorObject, processor_class, remote
+from repro.ccpp.collective import CCBarrier
+from repro.ccpp.gp import ObjectGlobalPtr
+from repro.machine.cluster import Cluster
+from repro.sim.account import Category
+from repro.sim.effects import Charge
+from repro.splitc import SplitCRuntime
+
+
+@processor_class
+class EchoService(ProcessorObject):
+    """Round-trips arbitrary marshalled arguments through a real RMI."""
+
+    @remote(threaded=True)
+    def echo(self, payload):
+        return payload
+
+    @remote(atomic=True)
+    def accumulate(self, x):
+        self.total = getattr(self, "total", 0.0) + x
+        return self.total
+
+
+args_strategy = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**60), max_value=2**60),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=30),
+    st.lists(st.integers(min_value=0, max_value=9), max_size=6),
+    st.dictionaries(st.text(max_size=5), st.integers(0, 99), max_size=3),
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(args_strategy, min_size=1, max_size=5))
+def test_rmi_round_trips_arbitrary_payloads(payloads):
+    """Every payload shipped through the full wire path comes back equal."""
+    rt = CCppRuntime(Cluster(2))
+    got = []
+
+    def program(ctx):
+        gp = yield from ctx.create(1, EchoService)
+        for p in payloads:
+            got.append((yield from ctx.rmi(gp, "echo", p)))
+
+    rt.launch(0, program)
+    rt.run()
+    assert got == payloads
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.lists(
+        st.floats(min_value=-100, max_value=100, allow_nan=False),
+        min_size=1,
+        max_size=8,
+    ),
+    st.integers(min_value=2, max_value=4),
+)
+def test_atomic_accumulation_from_many_nodes(values, n_clients):
+    """Concurrent atomic RMIs from several nodes sum correctly."""
+    rt = CCppRuntime(Cluster(n_clients + 1))
+    svc_id = rt._create_local(0, "EchoService", ())
+    gp = ObjectGlobalPtr(0, svc_id, "EchoService")
+
+    def client(ctx, mine):
+        for v in mine:
+            yield from ctx.rmi(gp, "accumulate", v)
+
+    for c in range(n_clients):
+        mine = values[c::n_clients]
+        if mine:
+            rt.launch(c + 1, lambda ctx, m=mine: client(ctx, m))
+    rt.run()
+    total = getattr(rt.object_table(0).get(svc_id), "total", 0.0)
+    assert total == np.float64(0.0) + sum(values) or abs(total - sum(values)) < 1e-9
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.lists(st.floats(min_value=0, max_value=300, allow_nan=False), min_size=2, max_size=4),
+    st.integers(min_value=1, max_value=4),
+)
+def test_ccbarrier_no_early_release_random_arrivals(delays, rounds):
+    """No participant leaves a barrier round before the slowest arrival."""
+    n = len(delays)
+    rt = CCppRuntime(Cluster(n))
+    barrier_id = rt._create_local(0, "CCBarrier", (n,))
+    gp = ObjectGlobalPtr(0, barrier_id, "CCBarrier")
+    arrive_at: dict[tuple[int, int], float] = {}
+    leave_at: dict[tuple[int, int], float] = {}
+
+    def program(ctx, delay):
+        for r in range(rounds):
+            yield Charge(delay, Category.CPU)
+            arrive_at[(ctx.my_node, r)] = ctx.node.sim.now
+            yield from CCBarrier.wait(ctx, gp)
+            leave_at[(ctx.my_node, r)] = ctx.node.sim.now
+
+    for nid, d in enumerate(delays):
+        rt.launch(nid, lambda ctx, dd=d: program(ctx, dd))
+    rt.run()
+    for r in range(rounds):
+        slowest = max(arrive_at[(nid, r)] for nid in range(n))
+        for nid in range(n):
+            assert leave_at[(nid, r)] >= slowest - 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=3),   # writer node
+            st.integers(min_value=0, max_value=3),   # target node
+            st.integers(min_value=0, max_value=7),   # slot
+            st.floats(min_value=-9, max_value=9, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=12,
+    )
+)
+def test_splitc_random_writes_reach_memory(ops):
+    """A random cross-node write plan lands exactly as a sequential
+    interpretation predicts (last write per slot wins within a writer;
+    across writers, slots are partitioned to keep the oracle exact)."""
+    cluster = Cluster(4)
+    rt = SplitCRuntime(cluster)
+    for q in range(4):
+        rt.memory(q).alloc("w", 8 * 4)
+
+    # partition slots by writer so concurrent writers never collide
+    plan = [
+        (writer, target, writer * 8 + slot, value)
+        for writer, target, slot, value in ops
+    ]
+    expect: dict[tuple[int, int], float] = {}
+    for writer, target, slot, value in plan:
+        expect[(target, slot)] = value
+
+    def program(proc):
+        mine = [p for p in plan if p[0] == proc.my_node]
+        for _, target, slot, value in mine:
+            yield from proc.write(proc.gptr(target, "w", slot), value)
+        yield from proc.barrier()
+
+    rt.run_spmd(program)
+    for (target, slot), value in expect.items():
+        assert rt.memory(target).region("w")[slot] == value

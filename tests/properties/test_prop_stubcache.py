@@ -1,0 +1,88 @@
+"""Property tests: the stub cache and persistent buffers converge.
+
+DESIGN.md's promised invariants: with caching on, any sequence of RMIs
+pays at most one cold miss per (caller node, callee node, method); after
+the first payload-bearing call of a pair, every further one reuses the
+persistent R-buffer."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ccpp import CCppRuntime, ProcessorObject, processor_class, remote
+from repro.ccpp.gp import ObjectGlobalPtr
+from repro.machine.cluster import Cluster
+from repro.sim.account import CounterNames
+
+
+@processor_class
+class CacheProbe(ProcessorObject):
+    @remote(threaded=True)
+    def alpha(self, x):
+        return x
+
+    @remote(threaded=True)
+    def beta(self, x):
+        return -x
+
+    @remote
+    def gamma(self):
+        return 0
+
+
+# a call plan: list of (callee node in {1,2}, method index in {0,1,2})
+plans = st.lists(
+    st.tuples(st.integers(1, 2), st.integers(0, 2)), min_size=1, max_size=25
+)
+
+_METHODS = ("alpha", "beta", "gamma")
+
+
+@settings(max_examples=25, deadline=None)
+@given(plans)
+def test_at_most_one_cold_miss_per_caller_method_pair(plan):
+    rt = CCppRuntime(Cluster(3))
+    probes = {}
+    for nid in (1, 2):
+        obj_id = rt._create_local(nid, "CacheProbe", ())
+        probes[nid] = ObjectGlobalPtr(nid, obj_id, "CacheProbe")
+
+    def program(ctx):
+        for nid, m in plan:
+            args = (1,) if m < 2 else ()
+            yield from ctx.rmi(probes[nid], _METHODS[m], *args)
+
+    rt.launch(0, program)
+    rt.run()
+
+    counters = rt.cluster.aggregate_counters()
+    distinct_pairs = len({(nid, m) for nid, m in plan})
+    cold = counters.get(CounterNames.RMI_COLD)
+    warm = counters.get(CounterNames.RMI_WARM)
+    assert cold == distinct_pairs
+    assert cold + warm == len(plan)
+
+
+@settings(max_examples=20, deadline=None)
+@given(plans)
+def test_payload_calls_reuse_persistent_buffers(plan):
+    rt = CCppRuntime(Cluster(3))
+    probes = {}
+    for nid in (1, 2):
+        obj_id = rt._create_local(nid, "CacheProbe", ())
+        probes[nid] = ObjectGlobalPtr(nid, obj_id, "CacheProbe")
+
+    def program(ctx):
+        for nid, m in plan:
+            args = (1,) if m < 2 else ()
+            yield from ctx.rmi(probes[nid], _METHODS[m], *args)
+
+    rt.launch(0, program)
+    rt.run()
+
+    counters = rt.cluster.aggregate_counters()
+    payload_calls = [(nid, m) for nid, m in plan if m < 2]
+    distinct_payload_pairs = len(set(payload_calls))
+    assert counters.get(CounterNames.RBUF_ALLOC) == distinct_payload_pairs
+    assert counters.get(CounterNames.RBUF_REUSE) == (
+        len(payload_calls) - distinct_payload_pairs
+    )

@@ -1,0 +1,100 @@
+"""Property tests: locks preserve mutual exclusion under arbitrary
+interleavings of yielding critical sections."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.cluster import Cluster
+from repro.sim.account import Category
+from repro.sim.effects import Charge
+from repro.threads.api import yield_now
+from repro.threads.sync import Lock, Semaphore
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=3),  # yields inside section
+            st.floats(min_value=0.0, max_value=20.0),  # charge inside section
+        ),
+        min_size=1,
+        max_size=8,
+    )
+)
+def test_lock_mutual_exclusion(sections):
+    cluster = Cluster(1)
+    node = cluster.nodes[0]
+    lock = Lock(node)
+    inside = {"count": 0, "max": 0}
+    completions = []
+
+    def body(tag, n_yields, charge_us):
+        yield from lock.acquire()
+        inside["count"] += 1
+        inside["max"] = max(inside["max"], inside["count"])
+        for _ in range(n_yields):
+            yield from yield_now(node)
+        if charge_us:
+            yield Charge(charge_us, Category.CPU)
+        inside["count"] -= 1
+        yield from lock.release()
+        completions.append(tag)
+
+    for tag, (n_yields, charge_us) in enumerate(sections):
+        cluster.launch(0, body(tag, n_yields, charge_us))
+    cluster.run()
+
+    assert inside["max"] == 1, "two threads were inside the lock at once"
+    assert sorted(completions) == list(range(len(sections)))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=4),   # semaphore capacity
+    st.integers(min_value=1, max_value=10),  # threads
+)
+def test_semaphore_never_exceeds_capacity(capacity, n_threads):
+    cluster = Cluster(1)
+    node = cluster.nodes[0]
+    sem = Semaphore(node, capacity)
+    inside = {"count": 0, "max": 0}
+
+    def body():
+        yield from sem.down()
+        inside["count"] += 1
+        inside["max"] = max(inside["max"], inside["count"])
+        yield from yield_now(node)
+        inside["count"] -= 1
+        yield from sem.up()
+
+    for _ in range(n_threads):
+        cluster.launch(0, body())
+    cluster.run()
+    assert inside["max"] <= capacity
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.floats(min_value=0.0, max_value=50.0), min_size=1, max_size=6))
+def test_sync_cell_readers_see_single_value(delays):
+    from repro.threads.sync import SyncCell
+
+    cluster = Cluster(1)
+    node = cluster.nodes[0]
+    cell = SyncCell(node)
+    seen = []
+
+    def reader(d):
+        yield Charge(d, Category.CPU)
+        value = yield from cell.read()
+        seen.append(value)
+
+    def writer():
+        yield Charge(25.0, Category.CPU)
+        yield from cell.write("the-value")
+
+    for d in delays:
+        cluster.launch(0, reader(d))
+    cluster.launch(0, writer())
+    cluster.run()
+    assert seen == ["the-value"] * len(delays)

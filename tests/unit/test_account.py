@@ -1,0 +1,121 @@
+"""Unit tests for time accounting and counters."""
+
+import pytest
+
+from repro.sim.account import Category, CounterNames, Counters, TimeAccount
+
+
+class TestTimeAccount:
+    def test_starts_empty(self):
+        acct = TimeAccount()
+        assert acct.total() == 0.0
+        for c in Category:
+            assert acct.get(c) == 0.0
+
+    def test_add_accumulates(self):
+        acct = TimeAccount()
+        acct.add(Category.CPU, 5.0)
+        acct.add(Category.CPU, 2.5)
+        assert acct.get(Category.CPU) == 7.5
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            TimeAccount().add(Category.NET, -1.0)
+
+    def test_total_with_and_without_idle(self):
+        acct = TimeAccount()
+        acct.add(Category.CPU, 10.0)
+        acct.add(Category.IDLE, 4.0)
+        assert acct.total() == 14.0
+        assert acct.total(include_idle=False) == 10.0
+
+    def test_snapshot_is_independent_copy(self):
+        acct = TimeAccount()
+        acct.add(Category.NET, 1.0)
+        snap = acct.snapshot()
+        acct.add(Category.NET, 1.0)
+        assert snap[Category.NET] == 1.0
+        assert acct.get(Category.NET) == 2.0
+
+    def test_since_returns_delta(self):
+        acct = TimeAccount()
+        acct.add(Category.RUNTIME, 3.0)
+        snap = acct.snapshot()
+        acct.add(Category.RUNTIME, 4.0)
+        acct.add(Category.CPU, 1.0)
+        delta = acct.since(snap)
+        assert delta[Category.RUNTIME] == 4.0
+        assert delta[Category.CPU] == 1.0
+
+    def test_merge_sums_categories(self):
+        a, b = TimeAccount(), TimeAccount()
+        a.add(Category.CPU, 1.0)
+        b.add(Category.CPU, 2.0)
+        b.add(Category.THREAD_SYNC, 0.5)
+        a.merge(b)
+        assert a.get(Category.CPU) == 3.0
+        assert a.get(Category.THREAD_SYNC) == 0.5
+
+    def test_breakdown_folds_idle_into_net(self):
+        acct = TimeAccount()
+        acct.add(Category.NET, 2.0)
+        acct.add(Category.IDLE, 3.0)
+        out = acct.breakdown()
+        assert out["net"] == 5.0
+        assert "idle" not in out
+
+    def test_breakdown_can_keep_idle(self):
+        acct = TimeAccount()
+        acct.add(Category.IDLE, 3.0)
+        out = acct.breakdown(fold_idle_into_net=False)
+        assert out["idle"] == 3.0
+        assert out["net"] == 0.0
+
+
+class TestCounters:
+    def test_get_missing_is_zero(self):
+        assert Counters().get("nope") == 0
+
+    def test_inc_default_and_amount(self):
+        c = Counters()
+        c.inc("x")
+        c.inc("x", 4)
+        assert c.get("x") == 5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counters().inc("x", -1)
+
+    def test_since_includes_both_sides(self):
+        c = Counters()
+        c.inc("a", 2)
+        snap = c.snapshot()
+        c.inc("a")
+        c.inc("b", 7)
+        delta = c.since(snap)
+        assert delta["a"] == 1
+        assert delta["b"] == 7
+
+    def test_merge(self):
+        a, b = Counters(), Counters()
+        a.inc("x", 1)
+        b.inc("x", 2)
+        b.inc("y", 3)
+        a.merge(b)
+        assert a.get("x") == 3
+        assert a.get("y") == 3
+
+    def test_counter_names_are_distinct(self):
+        names = [
+            getattr(CounterNames, attr)
+            for attr in dir(CounterNames)
+            if not attr.startswith("_")
+        ]
+        assert len(names) == len(set(names))
+
+
+class TestCategory:
+    def test_str_matches_paper_labels(self):
+        assert str(Category.THREAD_MGMT) == "thread mgmt"
+        assert str(Category.THREAD_SYNC) == "thread sync"
+        assert str(Category.RUNTIME) == "runtime"

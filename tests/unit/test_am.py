@@ -1,0 +1,266 @@
+"""Unit tests for the Active Messages layer."""
+
+import pytest
+
+from repro.am import AMEndpoint, install_am
+from repro.errors import RuntimeStateError, SimulationError
+from repro.machine.cluster import Cluster
+from repro.sim.account import Category, CounterNames
+from repro.sim.effects import Charge
+
+
+def _cluster_with_am(n=2):
+    cluster = Cluster(n)
+    eps = install_am(cluster)
+    return cluster, eps
+
+
+def _poll_server(node):
+    ep = node.service("am")
+    while True:
+        yield from ep.wait_and_poll()
+
+
+class TestHandlers:
+    def test_register_and_dispatch(self):
+        cluster, eps = _cluster_with_am()
+        seen = []
+
+        def h(ep, src, frame):
+            seen.append((src, frame.args))
+            return
+            yield
+
+        eps[1].register_handler("h", h)
+
+        def sender(node):
+            yield from node.service("am").send_short(1, "h", args=(1, 2), nbytes=16)
+
+        cluster.launch(1, _poll_server(cluster.nodes[1]), daemon=True)
+        cluster.launch(0, sender(cluster.nodes[0]))
+        cluster.run()
+        assert seen == [(0, (1, 2))]
+
+    def test_duplicate_handler_rejected(self):
+        _, eps = _cluster_with_am()
+        eps[0].register_handler("x", lambda *a: None)
+        with pytest.raises(RuntimeStateError):
+            eps[0].register_handler("x", lambda *a: None)
+        eps[0].register_handler("x", lambda *a: None, replace=True)
+
+    def test_unknown_handler_is_loud(self):
+        cluster, eps = _cluster_with_am()
+
+        def sender(node):
+            yield from node.service("am").send_short(1, "ghost", nbytes=12)
+
+        cluster.launch(1, _poll_server(cluster.nodes[1]), daemon=True)
+        cluster.launch(0, sender(cluster.nodes[0]))
+        with pytest.raises(SimulationError):
+            cluster.run()
+
+
+class TestRoundTrip:
+    def test_short_rtt_matches_calibration(self):
+        """Minimal request/reply lands in the paper's 53-55 us band."""
+        cluster, eps = _cluster_with_am()
+        state = {"got": 0}
+
+        def echo(ep, src, frame):
+            yield from ep.send_short(src, "ack", nbytes=12)
+
+        def ack(ep, src, frame):
+            state["got"] += 1
+            return
+            yield
+
+        for ep in eps:
+            ep.register_handler("echo", echo)
+            ep.register_handler("ack", ack)
+
+        times = []
+
+        def main(node):
+            ep = node.service("am")
+            for _ in range(3):
+                t0 = node.sim.now
+                want = state["got"] + 1
+                yield from ep.send_short(1, "echo", nbytes=16)
+                yield from ep.poll_until(lambda: state["got"] >= want)
+                times.append(node.sim.now - t0)
+
+        cluster.launch(1, _poll_server(cluster.nodes[1]), daemon=True)
+        cluster.launch(0, main(cluster.nodes[0]))
+        cluster.run()
+        for t in times:
+            assert 50.0 <= t <= 58.0
+
+    def test_bulk_carries_real_payload(self):
+        cluster, eps = _cluster_with_am()
+        landed = {}
+
+        def sink(ep, src, frame):
+            landed["data"] = frame.data
+            return
+            yield
+
+        eps[1].register_handler("sink", sink)
+        payload = bytes(range(256)) * 4
+
+        def sender(node):
+            yield from node.service("am").send_bulk(1, "sink", data=payload)
+
+        cluster.launch(1, _poll_server(cluster.nodes[1]), daemon=True)
+        cluster.launch(0, sender(cluster.nodes[0]))
+        cluster.run()
+        assert landed["data"] == payload
+
+    def test_bulk_slower_than_short_for_setup(self):
+        """The bulk path costs ~15 us more in sender-side setup."""
+        cluster, _ = _cluster_with_am()
+        node = cluster.nodes[0]
+        net = node.costs.net
+
+        def sender(n):
+            ep = n.service("am")
+            t0 = n.sim.now
+            yield from ep.send_short(1, "x", nbytes=16)
+            t1 = n.sim.now
+            yield from ep.send_bulk(1, "x", nbytes=16)
+            t2 = n.sim.now
+            assert (t2 - t1) - (t1 - t0) == pytest.approx(net.bulk_setup_cpu)
+
+        # register no-op handler so unknown-handler check doesn't fire
+        for ep in (node.service("am"), cluster.nodes[1].service("am")):
+            ep.register_handler("x", lambda *a: iter(()))
+        cluster.launch(1, _poll_server(cluster.nodes[1]), daemon=True)
+        cluster.launch(0, sender(node))
+        cluster.run()
+
+
+class TestPolling:
+    def test_empty_poll_charges_poll_cost(self):
+        cluster, eps = _cluster_with_am(1)
+
+        def body(node):
+            yield from node.service("am").poll()
+
+        cluster.launch(0, body(cluster.nodes[0]))
+        cluster.run()
+        assert cluster.nodes[0].account.get(Category.NET) == pytest.approx(
+            cluster.costs.net.poll_empty_cpu
+        )
+        assert cluster.nodes[0].counters.get(CounterNames.POLLS) == 1
+
+    def test_poll_drains_all_deliverable(self):
+        cluster, eps = _cluster_with_am()
+        count = {"n": 0}
+
+        def h(ep, src, frame):
+            count["n"] += 1
+            return
+            yield
+
+        eps[1].register_handler("h", h)
+
+        def sender(node):
+            ep = node.service("am")
+            for _ in range(4):
+                yield from ep.send_short(1, "h", nbytes=12)
+            yield Charge(1000.0, Category.CPU)  # let them all land
+
+        def receiver(node):
+            yield Charge(500.0, Category.CPU)  # everything queued meanwhile
+            n = yield from node.service("am").poll()
+            assert n == 4
+
+        cluster.launch(0, sender(cluster.nodes[0]))
+        cluster.launch(1, receiver(cluster.nodes[1]))
+        cluster.run()
+        assert count["n"] == 4
+
+    def test_queuing_delay_until_poll(self):
+        """Messages wait in the inbox until the receiver polls — the
+        queuing delay the paper identifies as a latency component."""
+        cluster, eps = _cluster_with_am()
+        handled_at = {}
+
+        def h(ep, src, frame):
+            handled_at["t"] = ep.node.sim.now
+            return
+            yield
+
+        eps[1].register_handler("h", h)
+
+        def sender(node):
+            yield from node.service("am").send_short(1, "h", nbytes=12)
+
+        def busy_receiver(node):
+            yield Charge(400.0, Category.CPU)  # compute, no polling
+            yield from node.service("am").poll()
+
+        cluster.launch(0, sender(cluster.nodes[0]))
+        cluster.launch(1, busy_receiver(cluster.nodes[1]))
+        cluster.run()
+        assert handled_at["t"] >= 400.0
+
+    def test_poll_on_send_services_inbox(self):
+        """A send triggers a poll of the sender's own inbox."""
+        cluster, eps = _cluster_with_am()
+        seen = []
+
+        def h(ep, src, frame):
+            seen.append(ep.node.nid)
+            return
+            yield
+
+        for ep in eps:
+            ep.register_handler("h", h)
+
+        def node0(node):
+            ep = node.service("am")
+            yield from ep.send_short(1, "h", nbytes=12)
+            yield Charge(200.0, Category.CPU)  # node 1's message lands now
+            # this send must service the queued message via poll-on-send
+            yield from ep.send_short(1, "h", nbytes=12)
+
+        def node1(node):
+            ep = node.service("am")
+            yield from ep.wait_and_poll()
+            yield from ep.send_short(0, "h", nbytes=12)
+            yield from ep.wait_and_poll()
+
+        cluster.launch(0, node0(cluster.nodes[0]))
+        cluster.launch(1, node1(cluster.nodes[1]))
+        cluster.run()
+        assert 0 in seen and seen.count(1) == 2
+
+    def test_handlers_do_not_poll_recursively(self):
+        """A handler's own send must not recursively dispatch handlers."""
+        cluster, eps = _cluster_with_am()
+        depth = {"now": 0, "max": 0}
+
+        def h(ep, src, frame):
+            depth["now"] += 1
+            depth["max"] = max(depth["max"], depth["now"])
+            yield from ep.send_short(src, "ack", nbytes=12)
+            depth["now"] -= 1
+
+        def ack(ep, src, frame):
+            return
+            yield
+
+        for ep in eps:
+            ep.register_handler("h", h)
+            ep.register_handler("ack", ack)
+
+        def sender(node):
+            ep = node.service("am")
+            for _ in range(3):
+                yield from ep.send_short(1, "h", nbytes=12)
+            yield from ep.poll_until(lambda: False if cluster.network.packets_sent < 6 else True)
+
+        cluster.launch(1, _poll_server(cluster.nodes[1]), daemon=True)
+        cluster.launch(0, sender(cluster.nodes[0]))
+        cluster.run()
+        assert depth["max"] == 1

@@ -1,0 +1,130 @@
+"""Unit tests for the blocked LU application."""
+
+import numpy as np
+import pytest
+import scipy.linalg
+
+from repro.apps.lu import (
+    LuParams,
+    LuWorkload,
+    check_factorization,
+    lu_nopivot,
+    reference_lu,
+    run_ccpp_lu,
+    run_splitc_lu,
+)
+from repro.apps.lu.blocked import panel_l, panel_u
+from repro.apps.lu.reference import assemble
+from repro.errors import ReproError
+
+
+@pytest.fixture(scope="module")
+def work():
+    return LuWorkload(LuParams(n=32, block=8, n_procs=4, seed=17))
+
+
+class TestParams:
+    def test_block_must_divide_n(self):
+        with pytest.raises(ReproError):
+            LuParams(n=100, block=16).validate()
+
+    def test_proc_grid_square_for_4(self):
+        assert LuParams(n_procs=4).proc_grid == (2, 2)
+
+    def test_proc_grid_for_2(self):
+        assert LuParams(n_procs=2).proc_grid == (1, 2)
+
+
+class TestKernels:
+    def test_lu_nopivot_reconstructs(self):
+        rng = np.random.default_rng(1)
+        a = rng.uniform(-1, 1, (8, 8)) + 8 * np.eye(8)
+        packed = a.copy()
+        lu_nopivot(packed)
+        lower = np.tril(packed, -1) + np.eye(8)
+        upper = np.triu(packed)
+        assert np.allclose(lower @ upper, a)
+
+    def test_lu_nopivot_zero_pivot_rejected(self):
+        with pytest.raises(ReproError):
+            lu_nopivot(np.zeros((4, 4)))
+
+    def test_panel_solves(self):
+        rng = np.random.default_rng(2)
+        pivot = rng.uniform(-1, 1, (8, 8)) + 8 * np.eye(8)
+        lu_nopivot(pivot)
+        lower = np.tril(pivot, -1) + np.eye(8)
+        upper = np.triu(pivot)
+        a_ik = rng.uniform(-1, 1, (8, 8))
+        a_kj = rng.uniform(-1, 1, (8, 8))
+        assert np.allclose(panel_l(a_ik, pivot) @ upper, a_ik)
+        assert np.allclose(lower @ panel_u(a_kj, pivot), a_kj)
+
+
+class TestGeometry:
+    def test_owner_2d_cyclic(self, work):
+        assert work.owner(0, 0) == 0
+        assert work.owner(0, 1) == 1
+        assert work.owner(1, 0) == 2
+        assert work.owner(1, 1) == 3
+        assert work.owner(2, 2) == 0
+
+    def test_every_block_owned_once(self, work):
+        b = work.params.n_blocks
+        counted = sum(len(work.owned_blocks(q)) for q in range(4))
+        assert counted == b * b
+
+    def test_needs_pivot_matches_panel_work(self, work):
+        b = work.params.n_blocks
+        for k in range(b):
+            for q in range(4):
+                has_panel = bool(work.panel_rows(q, k) or work.panel_cols(q, k))
+                assert work.needs_pivot(q, k) == has_panel
+
+    def test_interior_needs_cover_blocks(self, work):
+        for k in range(work.params.n_blocks):
+            for q in range(4):
+                rows, cols = work.interior_needs(q, k)
+                for (i, j) in work.interior_blocks(q, k):
+                    assert i in rows and j in cols
+
+
+class TestExecution:
+    def test_reference_matches_scipy_shape(self, work):
+        packed = reference_lu(work)
+        assert check_factorization(work, packed)
+        lower, upper = assemble(packed)
+        x = scipy.linalg.solve_triangular(
+            upper,
+            scipy.linalg.solve_triangular(
+                lower, np.ones(work.params.n), lower=True, unit_diagonal=True
+            ),
+            lower=False,
+        )
+        assert np.allclose(work.matrix @ x, np.ones(work.params.n))
+
+    def test_splitc_matches_reference(self, work):
+        ref = reference_lu(work)
+        res = run_splitc_lu(work)
+        assert np.allclose(res.packed, ref)
+        assert check_factorization(work, res.packed)
+
+    def test_ccpp_matches_reference(self, work):
+        ref = reference_lu(work)
+        res = run_ccpp_lu(work)
+        assert np.allclose(res.packed, ref)
+        assert check_factorization(work, res.packed)
+
+    def test_ccpp_gap_in_paper_direction(self, work):
+        sc = run_splitc_lu(work)
+        cc = run_ccpp_lu(work)
+        ratio = cc.elapsed_us / sc.elapsed_us
+        assert 1.0 < ratio < 5.0
+
+    def test_breakdowns_populated(self, work):
+        sc = run_splitc_lu(work)
+        cc = run_ccpp_lu(work)
+        assert sc.breakdown["cpu"] > 0
+        assert cc.breakdown["thread sync"] > 0
+        # equal computational work is charged in both languages
+        assert sc.breakdown["cpu"] == pytest.approx(cc.breakdown["cpu"])

@@ -1,0 +1,95 @@
+"""Unit tests for the cost models."""
+
+import pytest
+
+from repro.errors import CalibrationError
+from repro.machine.costs import (
+    MPL_COSTS,
+    NEXUS_COSTS,
+    SP2_COSTS,
+    CostModel,
+    NetworkCosts,
+    ThreadCosts,
+)
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        CostModel().validate()
+
+    def test_negative_thread_cost_rejected(self):
+        with pytest.raises(CalibrationError):
+            ThreadCosts(create=-1.0).validate()
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(CalibrationError):
+            NetworkCosts(wire_latency=-1.0).validate()
+
+    def test_zero_short_max_bytes_rejected(self):
+        with pytest.raises(CalibrationError):
+            NetworkCosts(short_max_bytes=0).validate()
+
+
+class TestOverrides:
+    def test_with_threads_copies(self):
+        c = SP2_COSTS.with_threads(sync_op=0.0)
+        assert c.threads.sync_op == 0.0
+        assert SP2_COSTS.threads.sync_op == 0.4  # original untouched
+        assert c.threads.create == SP2_COSTS.threads.create
+
+    def test_with_net_copies(self):
+        c = SP2_COSTS.with_net(wire_latency=99.0)
+        assert c.net.wire_latency == 99.0
+        assert SP2_COSTS.net.wire_latency != 99.0
+
+    def test_with_runtime_copies(self):
+        c = SP2_COSTS.with_runtime(stub_lookup=0.0)
+        assert c.runtime.stub_lookup == 0.0
+
+    def test_override_validates(self):
+        with pytest.raises(CalibrationError):
+            SP2_COSTS.with_threads(create=-5.0)
+
+
+class TestCalibration:
+    """The published numbers the SP2 profile is calibrated to."""
+
+    def test_thread_costs_match_paper_derivation(self):
+        t = SP2_COSTS.threads
+        assert t.create == pytest.approx(5.0)
+        assert t.context_switch == pytest.approx(6.0)
+        assert t.sync_op == pytest.approx(0.4)
+
+    def test_short_am_round_trip_near_55us(self):
+        net = SP2_COSTS.net
+        one_way = net.short_send_cpu + net.short_wire_time(24) + net.short_recv_cpu + net.poll_hit_cpu
+        assert 2 * one_way == pytest.approx(55.0, rel=0.05)
+
+    def test_stub_lookup_is_about_3us(self):
+        assert SP2_COSTS.runtime.stub_lookup == pytest.approx(3.0)
+
+    def test_mpl_round_trip_near_88us(self):
+        net = MPL_COSTS.net
+        one_way = net.mpl_send_cpu + net.short_wire_time(16) + net.mpl_recv_cpu
+        assert 2 * one_way == pytest.approx(88.0, rel=0.05)
+
+    def test_wire_time_formulas(self):
+        net = SP2_COSTS.net
+        assert net.short_wire_time(0) == net.wire_latency
+        assert net.short_wire_time(100) == pytest.approx(
+            net.wire_latency + 100 * net.per_byte
+        )
+        assert net.bulk_wire_time(100) < net.short_wire_time(100)
+
+
+class TestNexusProfile:
+    def test_nexus_is_uniformly_heavier(self):
+        assert NEXUS_COSTS.net.short_send_cpu > 50 * SP2_COSTS.net.short_send_cpu
+        assert NEXUS_COSTS.threads.create > 10 * SP2_COSTS.threads.create
+        assert NEXUS_COSTS.runtime.name_resolve > SP2_COSTS.runtime.name_resolve
+
+    def test_nexus_validates(self):
+        NEXUS_COSTS.validate()
+
+    def test_profiles_have_distinct_names(self):
+        assert SP2_COSTS.name != NEXUS_COSTS.name

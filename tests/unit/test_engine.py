@@ -1,0 +1,165 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(30.0, lambda: fired.append("c"))
+    sim.schedule(10.0, lambda: fired.append("a"))
+    sim.schedule(20.0, lambda: fired.append("b"))
+    sim.run()
+    assert fired == ["a", "b", "c"]
+    assert sim.now == 30.0
+
+
+def test_equal_times_fire_in_scheduling_order():
+    sim = Simulator()
+    fired = []
+    for tag in range(5):
+        sim.schedule(7.0, lambda t=tag: fired.append(t))
+    sim.run()
+    assert fired == [0, 1, 2, 3, 4]
+
+
+def test_nested_scheduling_from_callbacks():
+    sim = Simulator()
+    fired = []
+
+    def outer():
+        fired.append(("outer", sim.now))
+        sim.schedule(5.0, lambda: fired.append(("inner", sim.now)))
+
+    sim.schedule(10.0, outer)
+    sim.run()
+    assert fired == [("outer", 10.0), ("inner", 15.0)]
+
+
+def test_zero_delay_event_fires_at_now():
+    sim = Simulator()
+    seen = []
+    sim.schedule(0.0, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [0.0]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_schedule_at_past_rejected():
+    sim = Simulator()
+    sim.schedule(10.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(5.0, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    ev = sim.schedule(5.0, lambda: fired.append(1))
+    sim.schedule(3.0, ev.cancel)
+    sim.run()
+    assert fired == []
+    assert not ev.alive
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    ev = sim.schedule(5.0, lambda: None)
+    ev.cancel()
+    ev.cancel()
+    sim.run()
+
+
+def test_pending_counts_live_events():
+    sim = Simulator()
+    ev = sim.schedule(5.0, lambda: None)
+    sim.schedule(6.0, lambda: None)
+    assert sim.pending == 2
+    ev.cancel()
+    # lazy deletion: pending decremented when popped, so run to find out
+    sim.run()
+    assert sim.pending == 0
+
+
+def test_run_until_stops_clock_at_bound():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10.0, lambda: fired.append("early"))
+    sim.schedule(100.0, lambda: fired.append("late"))
+    sim.run(until=50.0)
+    assert fired == ["early"]
+    assert sim.now == 50.0
+    sim.run()  # resume to completion
+    assert fired == ["early", "late"]
+
+
+def test_run_until_beyond_all_events_advances_clock():
+    sim = Simulator()
+    sim.schedule(10.0, lambda: None)
+    sim.run(until=99.0)
+    assert sim.now == 99.0
+
+
+def test_max_events_guard_raises():
+    sim = Simulator()
+
+    def respawn():
+        sim.schedule(0.0, respawn)
+
+    sim.schedule(0.0, respawn)
+    with pytest.raises(SimulationError, match="max_events"):
+        sim.run(max_events=100)
+
+
+def test_step_returns_false_when_empty():
+    sim = Simulator()
+    assert sim.step() is False
+    sim.schedule(1.0, lambda: None)
+    assert sim.step() is True
+    assert sim.step() is False
+
+
+def test_events_fired_counter():
+    sim = Simulator()
+    for _ in range(4):
+        sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert sim.events_fired == 4
+
+
+def test_run_not_reentrant():
+    sim = Simulator()
+    err = {}
+
+    def inner():
+        try:
+            sim.run()
+        except SimulationError as exc:
+            err["e"] = exc
+
+    sim.schedule(1.0, inner)
+    sim.run()
+    assert "e" in err
+
+
+def test_drain_cancelled_compacts_heap():
+    sim = Simulator()
+    events = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+    for ev in events[:9]:
+        ev.cancel()
+    sim.drain_cancelled()
+    sim.run()
+    assert sim.now == 10.0

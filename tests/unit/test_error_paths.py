@@ -1,0 +1,154 @@
+"""Unit tests for error paths and edge cases across the runtimes."""
+
+import numpy as np
+import pytest
+
+from repro.ccpp import CCppRuntime, ProcessorObject, processor_class, remote
+from repro.errors import (
+    GlobalPointerError,
+    RemoteInvocationError,
+    RuntimeStateError,
+    SimulationError,
+)
+from repro.machine.cluster import Cluster
+from repro.splitc import SplitCRuntime
+
+
+class TestSplitCErrors:
+    def _rt(self, n=2):
+        cluster = Cluster(n)
+        rt = SplitCRuntime(cluster)
+        for q in range(n):
+            rt.memory(q).alloc("x", 4)
+        return rt
+
+    def test_bulk_get_remote_destination_rejected(self):
+        rt = self._rt()
+
+        def program(proc):
+            if proc.my_node == 0:
+                yield from proc.bulk_get(proc.gptr(1, "x", 0), proc.gptr(1, "x", 0), 2)
+            yield from proc.barrier()
+
+        with pytest.raises(Exception):
+            rt.run_spmd(program)
+
+    def test_remote_read_out_of_bounds_is_loud(self):
+        rt = self._rt()
+
+        def program(proc):
+            if proc.my_node == 0:
+                yield from proc.read(proc.gptr(1, "x", 99))
+            yield from proc.barrier()
+
+        with pytest.raises(Exception):
+            rt.run_spmd(program)
+
+    def test_unknown_region_remote_access(self):
+        rt = self._rt()
+
+        def program(proc):
+            if proc.my_node == 0:
+                yield from proc.read(proc.gptr(1, "ghost", 0))
+            yield from proc.barrier()
+
+        with pytest.raises(Exception):
+            rt.run_spmd(program)
+
+    def test_unknown_rpc_name(self):
+        rt = self._rt()
+
+        def program(proc):
+            if proc.my_node == 0:
+                yield from proc.atomic_rpc(1, "no_such_fn")
+            yield from proc.barrier()
+
+        with pytest.raises(Exception):
+            rt.run_spmd(program)
+
+    def test_await_more_stores_than_sent_deadlocks(self):
+        rt = self._rt()
+
+        def program(proc):
+            if proc.my_node == 1:
+                yield from proc.await_stores(1)  # nobody stores
+            yield from proc.barrier()
+
+        with pytest.raises(Exception):
+            rt.run_spmd(program)
+
+
+@processor_class
+class Fragile(ProcessorObject):
+    @remote(threaded=True)
+    def divide(self, a, b):
+        return a / b
+
+    @remote
+    def nonthreaded_divide(self, a, b):
+        return a / b
+
+    @remote(atomic=True)
+    def atomic_raise(self):
+        raise KeyError("inside atomic")
+        yield
+
+
+class TestCCppErrors:
+    def _run(self, program, n=2):
+        rt = CCppRuntime(Cluster(n))
+        t = rt.launch(0, program)
+        rt.run()
+        return rt, t.result
+
+    def test_threaded_exception_carries_type_and_message(self):
+        def program(ctx):
+            gp = yield from ctx.create(1, Fragile)
+            try:
+                yield from ctx.rmi(gp, "divide", 1.0, 0.0)
+            except RemoteInvocationError as exc:
+                return exc.detail
+
+        _, detail = self._run(program)
+        assert "ZeroDivisionError" in detail
+
+    def test_nonthreaded_exception_also_propagates(self):
+        def program(ctx):
+            gp = yield from ctx.create(1, Fragile)
+            try:
+                yield from ctx.rmi(gp, "nonthreaded_divide", 1.0, 0.0)
+            except RemoteInvocationError as exc:
+                return "caught"
+
+        _, out = self._run(program)
+        assert out == "caught"
+
+    def test_atomic_lock_released_after_exception(self):
+        """A raising atomic method must not leave the object's atomicity
+        lock held (else the next atomic RMI deadlocks)."""
+
+        def program(ctx):
+            gp = yield from ctx.create(1, Fragile)
+            for _ in range(2):
+                try:
+                    yield from ctx.rmi(gp, "atomic_raise")
+                except RemoteInvocationError:
+                    pass
+            return "survived"
+
+        _, out = self._run(program)
+        assert out == "survived"
+
+    def test_create_unregistered_class_rejected(self):
+        def program(ctx):
+            yield from ctx.create(1, "NotARealClass")
+
+        with pytest.raises(SimulationError):
+            self._run(program)
+
+    def test_gp_read_unknown_region(self):
+        def program(ctx):
+            yield from ctx.gp_read(ctx.data_ptr("nope").__class__(1, "nope", 0))
+
+        with pytest.raises(Exception):
+            self._run(program)

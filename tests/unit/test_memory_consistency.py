@@ -1,0 +1,120 @@
+"""Memory-consistency semantics of the Split-C access taxonomy.
+
+Split-C's contract (Culler et al.): blocking accesses complete before the
+statement returns; split-phase accesses complete by ``sync()``; one-way
+stores complete by the target's synchronization.  These tests pin the
+ordering guarantees our runtime must (and must not) provide.
+"""
+
+import pytest
+
+from repro.machine.cluster import Cluster
+from repro.splitc import SplitCRuntime
+
+
+def _rt(n=2, size=8):
+    cluster = Cluster(n)
+    rt = SplitCRuntime(cluster)
+    for q in range(n):
+        rt.memory(q).alloc("m", size)
+    return cluster, rt
+
+
+def test_blocking_write_then_read_sees_value():
+    """Program order through blocking accesses is sequential."""
+    _, rt = _rt()
+
+    def program(proc):
+        if proc.my_node == 0:
+            for k in range(4):
+                yield from proc.write(proc.gptr(1, "m", k), float(k))
+            got = []
+            for k in range(4):
+                got.append((yield from proc.read(proc.gptr(1, "m", k))))
+            yield from proc.barrier()
+            return got
+        yield from proc.barrier()
+
+    results = rt.run_spmd(program)
+    assert results[0] == [0.0, 1.0, 2.0, 3.0]
+
+
+def test_split_phase_not_ordered_until_sync():
+    """A split-phase get is NOT guaranteed complete before sync() —
+    the destination may still hold the old value right after issue."""
+    cluster, rt = _rt()
+    observed = {}
+
+    def program(proc):
+        if proc.my_node == 0:
+            proc.local("m")[0] = -1.0
+            yield from proc.get(proc.gptr(0, "m", 0), proc.gptr(1, "m", 3))
+            observed["before_sync"] = float(proc.local("m")[0])
+            yield from proc.sync()
+            observed["after_sync"] = float(proc.local("m")[0])
+        yield from proc.barrier()
+
+    rt.memory(1).region("m")[3] = 42.0
+    rt.run_spmd(program)
+    assert observed["before_sync"] == -1.0  # still the old value
+    assert observed["after_sync"] == 42.0
+
+
+def test_same_destination_blocking_writes_apply_in_program_order():
+    """Two blocking writes to one location: the later one wins."""
+    _, rt = _rt()
+
+    def program(proc):
+        if proc.my_node == 0:
+            yield from proc.write(proc.gptr(1, "m", 0), 1.0)
+            yield from proc.write(proc.gptr(1, "m", 0), 2.0)
+        yield from proc.barrier()
+
+    rt.run_spmd(program)
+    assert rt.memory(1).region("m")[0] == 2.0
+
+
+def test_stores_to_same_target_are_fifo():
+    """One-way stores between one (src, dst) pair land in issue order
+    (the network is FIFO per channel), so the last store wins."""
+    _, rt = _rt()
+
+    def program(proc):
+        if proc.my_node == 0:
+            for v in (1.0, 2.0, 3.0):
+                yield from proc.store(proc.gptr(1, "m", 0), v)
+        else:
+            yield from proc.await_stores(3)
+            assert proc.local("m")[0] == 3.0
+        yield from proc.barrier()
+
+    rt.run_spmd(program)
+
+
+def test_read_after_remote_write_by_other_node_needs_barrier():
+    """Cross-node visibility requires synchronization: node 1 sees node
+    0's write only after the barrier orders them."""
+    _, rt = _rt()
+    seen = {}
+
+    def program(proc):
+        if proc.my_node == 0:
+            yield from proc.write(proc.gptr(1, "m", 5), 7.0)
+        yield from proc.barrier()
+        if proc.my_node == 1:
+            seen["value"] = float(proc.local("m")[5])
+
+    rt.run_spmd(program)
+    assert seen["value"] == 7.0
+
+
+def test_sync_with_no_outstanding_ops_is_cheap():
+    cluster, rt = _rt()
+
+    def program(proc):
+        t0 = proc.node.sim.now
+        yield from proc.sync()
+        return proc.node.sim.now - t0
+
+    results = rt.run_spmd(program)
+    assert all(dt < 5.0 for dt in results)

@@ -1,0 +1,132 @@
+"""Unit tests for the MPL two-sided layer."""
+
+import pytest
+
+from repro.errors import RuntimeStateError
+from repro.machine.cluster import Cluster
+from repro.mpl import install_mpl
+
+
+def _pair():
+    cluster = Cluster(2)
+    eps = install_mpl(cluster)
+    return cluster, eps
+
+
+def test_send_recv_value():
+    cluster, eps = _pair()
+    out = {}
+
+    def sender(ep):
+        yield from ep.send(1, 5, {"x": 42}, nbytes=32)
+
+    def receiver(ep):
+        out["v"] = yield from ep.recv(0, 5)
+
+    cluster.launch(0, sender(eps[0]))
+    cluster.launch(1, receiver(eps[1]))
+    cluster.run()
+    assert out["v"] == {"x": 42}
+
+
+def test_tag_matching_out_of_order():
+    cluster, eps = _pair()
+    out = {}
+
+    def sender(ep):
+        yield from ep.send(1, 1, "first", nbytes=16)
+        yield from ep.send(1, 2, "second", nbytes=16)
+
+    def receiver(ep):
+        out["tag2"] = yield from ep.recv(0, 2)  # receive tags in reverse
+        out["tag1"] = yield from ep.recv(0, 1)
+
+    cluster.launch(0, sender(eps[0]))
+    cluster.launch(1, receiver(eps[1]))
+    cluster.run()
+    assert out == {"tag2": "second", "tag1": "first"}
+
+
+def test_fifo_within_matching_key():
+    cluster, eps = _pair()
+    got = []
+
+    def sender(ep):
+        for i in range(4):
+            yield from ep.send(1, 9, i, nbytes=16)
+
+    def receiver(ep):
+        for _ in range(4):
+            got.append((yield from ep.recv(0, 9)))
+
+    cluster.launch(0, sender(eps[0]))
+    cluster.launch(1, receiver(eps[1]))
+    cluster.run()
+    assert got == [0, 1, 2, 3]
+
+
+def test_round_trip_matches_mpl_reference():
+    """Ping-pong lands near the paper's 88 us MPL round trip."""
+    cluster, eps = _pair()
+    rtts = []
+
+    def pinger(ep):
+        for _ in range(3):
+            t0 = ep.node.sim.now
+            yield from ep.send(1, 1, b"p", nbytes=16)
+            yield from ep.recv(1, 2)
+            rtts.append(ep.node.sim.now - t0)
+
+    def ponger(ep):
+        for _ in range(3):
+            yield from ep.recv(0, 1)
+            yield from ep.send(0, 2, b"q", nbytes=16)
+
+    cluster.launch(0, pinger(eps[0]))
+    cluster.launch(1, ponger(eps[1]))
+    cluster.run()
+    for t in rtts:
+        assert 84.0 <= t <= 93.0
+
+
+def test_negative_tag_rejected():
+    cluster, eps = _pair()
+
+    def sender(ep):
+        yield from ep.send(1, -1, None)
+
+    cluster.launch(0, sender(eps[0]))
+    with pytest.raises(Exception):
+        cluster.run()
+
+
+def test_probe_nonblocking():
+    cluster, eps = _pair()
+    out = {}
+
+    def sender(ep):
+        yield from ep.send(1, 3, "x", nbytes=16)
+
+    def receiver(ep):
+        out["before"] = ep.probe(0, 3)
+        yield from ep.recv(0, 3)
+        out["after"] = ep.probe(0, 3)
+
+    cluster.launch(0, sender(eps[0]))
+    cluster.launch(1, receiver(eps[1]))
+    cluster.run()
+    assert out == {"before": False, "after": False} or out["after"] is False
+
+
+def test_foreign_packet_kind_rejected():
+    from repro.machine.network import Packet
+
+    cluster, eps = _pair()
+    cluster.network.transmit(Packet(src=0, dst=1, kind="alien", payload=None, nbytes=8))
+
+    def receiver(ep):
+        yield from ep.recv(0, 1)
+
+    cluster.launch(1, receiver(eps[1]))
+    with pytest.raises(Exception):
+        cluster.run()

@@ -1,0 +1,63 @@
+"""Unit tests for the Nexus baseline runtime."""
+
+import pytest
+
+from repro.ccpp import CCppRuntime, ProcessorObject, processor_class, remote
+from repro.errors import CalibrationError
+from repro.machine.cluster import Cluster
+from repro.machine.costs import NEXUS_COSTS
+from repro.nexus import NexusCCppRuntime, make_nexus_runtime
+
+
+@processor_class
+class NexusEcho(ProcessorObject):
+    @remote(threaded=True)
+    def echo(self, x):
+        return x
+
+
+def test_requires_nexus_cost_profile():
+    with pytest.raises(CalibrationError):
+        NexusCCppRuntime(Cluster(2))  # default SP2 costs
+
+
+def test_factory_builds_working_runtime():
+    rt = make_nexus_runtime(2)
+    assert isinstance(rt, CCppRuntime)
+    assert rt.cluster.costs.name == NEXUS_COSTS.name
+    assert rt.stub_caching is False
+    assert rt.persistent_buffers is False
+
+    def program(ctx):
+        gp = yield from ctx.create(1, NexusEcho)
+        return (yield from ctx.rmi(gp, "echo", 17))
+
+    t = rt.launch(0, program)
+    rt.run()
+    assert t.result == 17
+
+
+def test_nexus_rmi_an_order_of_magnitude_slower():
+    def program_factory(out):
+        def program(ctx):
+            gp = yield from ctx.create(1, NexusEcho)
+            # warm (irrelevant for nexus: always cold) then measure
+            yield from ctx.rmi(gp, "echo", 0)
+            t0 = ctx.node.sim.now
+            for _ in range(3):
+                yield from ctx.rmi(gp, "echo", 1)
+            out["per_rmi"] = (ctx.node.sim.now - t0) / 3
+
+        return program
+
+    tham_rt = CCppRuntime(Cluster(2))
+    tham, nexus = {}, {}
+    t = tham_rt.launch(0, program_factory(tham))
+    tham_rt.run()
+
+    nexus_rt = make_nexus_runtime(2)
+    nexus_rt.launch(0, program_factory(nexus))
+    nexus_rt.run()
+
+    ratio = nexus["per_rmi"] / tham["per_rmi"]
+    assert ratio > 10.0, f"Nexus should be >>10x slower, got {ratio:.1f}x"

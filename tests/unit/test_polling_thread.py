@@ -1,0 +1,103 @@
+"""Unit tests for the CC++ polling thread's behaviour."""
+
+import pytest
+
+from repro.ccpp import CCppRuntime, WaitMode
+from repro.ccpp.polling import polling_loop
+from repro.machine.cluster import Cluster
+from repro.sim.account import Category, CounterNames
+from repro.sim.effects import Charge
+
+
+def test_polling_thread_is_daemon_and_never_blocks_shutdown():
+    rt = CCppRuntime(Cluster(2))
+
+    def program(ctx):
+        yield from ctx.rmi(ctx.rt.manager_ptr(1), "ping")
+
+    rt.launch(0, program)
+    rt.run()  # would raise DeadlockError if pollers kept the sim alive
+    for thr in rt.polling_threads:
+        assert thr.daemon
+
+
+def test_polling_thread_services_while_main_parked():
+    """With the caller parked (normal RMI), only the polling thread can
+    service the reply — the mechanism §4 describes."""
+    rt = CCppRuntime(Cluster(2))
+    out = {}
+
+    def program(ctx):
+        out["result"] = yield from ctx.rmi(
+            ctx.rt.manager_ptr(1), "ping", wait=WaitMode.PARK
+        )
+
+    rt.launch(0, program)
+    rt.run()
+    assert out["result"] == 0
+    # the handoff polling thread -> caller shows up as context switches
+    assert rt.cluster.aggregate_counters().get(CounterNames.THREAD_YIELD) >= 1
+
+
+def test_polling_thread_switches_attributed_to_thread_mgmt():
+    """'75-85% of [thread-mgmt] cost is due to context switches, a large
+    fraction attributable to the polling thread' — the category exists
+    and grows with RMI count."""
+    def measure(n_rmis):
+        rt = CCppRuntime(Cluster(2))
+
+        def program(ctx):
+            for _ in range(n_rmis):
+                yield from ctx.rmi(ctx.rt.manager_ptr(1), "ping")
+
+        rt.launch(0, program)
+        rt.run()
+        return rt.cluster.aggregate_account().get(Category.THREAD_MGMT)
+
+    assert measure(8) > measure(2)
+
+
+def test_disabling_polling_thread_deadlocks_parked_rmi():
+    """Without the polling thread, a parked caller has nobody to service
+    its reply — exactly the deadlock §4 says the thread exists to avoid."""
+    from repro.errors import DeadlockError
+
+    rt = CCppRuntime(Cluster(2), start_polling=False)
+
+    def server_poller(node):
+        # node 1 still needs SOME servicing for the request to execute
+        ep = node.service("am")
+        while True:
+            yield from ep.wait_and_poll()
+
+    rt.cluster.launch(1, server_poller(rt.cluster.nodes[1]), daemon=True)
+
+    def program(ctx):
+        yield from ctx.rmi(ctx.rt.manager_ptr(1), "ping", wait=WaitMode.PARK)
+
+    rt.launch(0, program)
+    with pytest.raises(DeadlockError):
+        rt.run()
+
+
+def test_spin_mode_survives_without_polling_thread():
+    """A spin-waiting caller polls for itself, so SPIN mode works even
+    with no polling thread — the 0-Word Simple configuration."""
+    rt = CCppRuntime(Cluster(2), start_polling=False)
+
+    def server_poller(node):
+        ep = node.service("am")
+        while True:
+            yield from ep.wait_and_poll()
+
+    rt.cluster.launch(1, server_poller(rt.cluster.nodes[1]), daemon=True)
+    out = {}
+
+    def program(ctx):
+        out["r"] = yield from ctx.rmi(
+            ctx.rt.manager_ptr(1), "ping", wait=WaitMode.SPIN
+        )
+
+    rt.launch(0, program)
+    rt.run()
+    assert out["r"] == 0

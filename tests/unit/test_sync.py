@@ -1,0 +1,306 @@
+"""Unit tests for Lock, Condition, Semaphore, SyncCell."""
+
+import pytest
+
+from repro.errors import RuntimeStateError, SimulationError
+from repro.machine.cluster import Cluster
+from repro.sim.account import Category, CounterNames
+from repro.sim.effects import Charge
+from repro.threads.sync import Condition, Lock, Semaphore, SyncCell
+
+
+def _cluster():
+    return Cluster(1)
+
+
+class TestLock:
+    def test_uncontended_acquire_release(self):
+        cluster = _cluster()
+        node = cluster.nodes[0]
+        lock = Lock(node)
+
+        def body():
+            yield from lock.acquire()
+            assert lock.held
+            yield from lock.release()
+            assert not lock.held
+
+        cluster.launch(0, body())
+        cluster.run()
+        assert node.counters.get(CounterNames.LOCK_UNCONTENDED) == 1
+        assert node.counters.get(CounterNames.LOCK_CONTENDED) == 0
+        # acquire + release = 2 sync ops
+        assert node.counters.get(CounterNames.THREAD_SYNC_OP) == 2
+        assert node.account.get(Category.THREAD_SYNC) == pytest.approx(0.8)
+
+    def test_mutual_exclusion(self):
+        """Contention arises when the holder yields the CPU mid-section
+        (non-preemptive threads never lose the CPU during a charge)."""
+        from repro.threads.api import yield_now
+
+        cluster = _cluster()
+        node = cluster.nodes[0]
+        lock = Lock(node)
+        trace = []
+
+        def body(tag):
+            yield from lock.acquire()
+            trace.append((tag, "in"))
+            yield from yield_now(node)  # give the other thread a chance
+            trace.append((tag, "out"))
+            yield from lock.release()
+
+        cluster.launch(0, body("a"))
+        cluster.launch(0, body("b"))
+        cluster.run()
+        assert trace == [("a", "in"), ("a", "out"), ("b", "in"), ("b", "out")]
+        assert node.counters.get(CounterNames.LOCK_CONTENDED) == 1
+
+    def test_fifo_handoff_order(self):
+        cluster = _cluster()
+        node = cluster.nodes[0]
+        lock = Lock(node)
+        order = []
+
+        def holder():
+            yield from lock.acquire()
+            yield Charge(50.0, Category.CPU)
+            yield from lock.release()
+
+        def waiter(tag):
+            yield Charge(float(tag), Category.CPU)  # stagger arrival order
+            yield from lock.acquire()
+            order.append(tag)
+            yield from lock.release()
+
+        cluster.launch(0, holder())
+        for tag in (1, 2, 3):
+            cluster.launch(0, waiter(tag))
+        cluster.run()
+        assert order == [1, 2, 3]
+
+    def test_release_by_non_owner_rejected(self):
+        cluster = _cluster()
+        lock = Lock(cluster.nodes[0])
+
+        def body():
+            yield from lock.release()
+
+        cluster.launch(0, body())
+        with pytest.raises(SimulationError):
+            cluster.run()
+
+    def test_reacquire_rejected(self):
+        cluster = _cluster()
+        lock = Lock(cluster.nodes[0])
+
+        def body():
+            yield from lock.acquire()
+            yield from lock.acquire()
+
+        cluster.launch(0, body())
+        with pytest.raises(SimulationError):
+            cluster.run()
+
+    def test_locked_context_helper(self):
+        cluster = _cluster()
+        lock = Lock(cluster.nodes[0])
+
+        def body():
+            ctx = yield from lock.locked()
+            assert lock.held
+            yield from ctx.exit()
+            assert not lock.held
+
+        cluster.launch(0, body())
+        cluster.run()
+
+
+class TestCondition:
+    def test_wait_signal(self):
+        cluster = _cluster()
+        node = cluster.nodes[0]
+        lock = Lock(node)
+        cond = Condition(lock)
+        state = {"ready": False, "observed": None}
+
+        def consumer():
+            yield from lock.acquire()
+            while not state["ready"]:
+                yield from cond.wait()
+            state["observed"] = node.sim.now
+            yield from lock.release()
+
+        def producer():
+            yield Charge(30.0, Category.CPU)
+            yield from lock.acquire()
+            state["ready"] = True
+            yield from cond.signal()
+            yield from lock.release()
+
+        cluster.launch(0, consumer())
+        cluster.launch(0, producer())
+        cluster.run()
+        assert state["observed"] is not None
+        assert state["observed"] >= 30.0
+
+    def test_wait_without_lock_rejected(self):
+        cluster = _cluster()
+        lock = Lock(cluster.nodes[0])
+        cond = Condition(lock)
+
+        def body():
+            yield from cond.wait()
+
+        cluster.launch(0, body())
+        with pytest.raises(SimulationError):
+            cluster.run()
+
+    def test_broadcast_wakes_all(self):
+        cluster = _cluster()
+        node = cluster.nodes[0]
+        lock = Lock(node)
+        cond = Condition(lock)
+        released = []
+        state = {"go": False}
+
+        def waiter(tag):
+            yield from lock.acquire()
+            while not state["go"]:
+                yield from cond.wait()
+            released.append(tag)
+            yield from lock.release()
+
+        def broadcaster():
+            yield Charge(10.0, Category.CPU)
+            yield from lock.acquire()
+            state["go"] = True
+            yield from cond.broadcast()
+            yield from lock.release()
+
+        for tag in range(3):
+            cluster.launch(0, waiter(tag))
+        cluster.launch(0, broadcaster())
+        cluster.run()
+        assert sorted(released) == [0, 1, 2]
+
+    def test_signal_with_no_waiters_is_fine(self):
+        cluster = _cluster()
+        lock = Lock(cluster.nodes[0])
+        cond = Condition(lock)
+
+        def body():
+            yield from cond.signal()
+
+        cluster.launch(0, body())
+        cluster.run()
+
+
+class TestSemaphore:
+    def test_counts(self):
+        cluster = _cluster()
+        sem = Semaphore(cluster.nodes[0], 2)
+
+        def body():
+            yield from sem.down()
+            yield from sem.down()
+            assert sem.count == 0
+            yield from sem.up()
+            assert sem.count == 1
+
+        cluster.launch(0, body())
+        cluster.run()
+
+    def test_blocks_at_zero_until_up(self):
+        cluster = _cluster()
+        node = cluster.nodes[0]
+        sem = Semaphore(node, 0)
+        t = {}
+
+        def blocked():
+            yield from sem.down()
+            t["resumed"] = node.sim.now
+
+        def releaser():
+            yield Charge(40.0, Category.CPU)
+            yield from sem.up()
+
+        cluster.launch(0, blocked())
+        cluster.launch(0, releaser())
+        cluster.run()
+        assert t["resumed"] >= 40.0
+
+    def test_negative_initial_rejected(self):
+        with pytest.raises(ValueError):
+            Semaphore(_cluster().nodes[0], -1)
+
+
+class TestSyncCell:
+    def test_write_then_read(self):
+        cluster = _cluster()
+        cell = SyncCell(cluster.nodes[0])
+
+        def body():
+            yield from cell.write(99)
+            value = yield from cell.read()
+            return value
+
+        t = cluster.launch(0, body())
+        cluster.run()
+        assert t.result == 99
+
+    def test_read_blocks_until_write(self):
+        cluster = _cluster()
+        node = cluster.nodes[0]
+        cell = SyncCell(node)
+        seen = {}
+
+        def reader():
+            seen["value"] = yield from cell.read()
+            seen["at"] = node.sim.now
+
+        def writer():
+            yield Charge(20.0, Category.CPU)
+            yield from cell.write("hello")
+
+        cluster.launch(0, reader())
+        cluster.launch(0, writer())
+        cluster.run()
+        assert seen["value"] == "hello"
+        assert seen["at"] >= 20.0
+
+    def test_double_write_rejected(self):
+        cluster = _cluster()
+        cell = SyncCell(cluster.nodes[0])
+
+        def body():
+            yield from cell.write(1)
+            yield from cell.write(2)
+
+        cluster.launch(0, body())
+        with pytest.raises(SimulationError):
+            cluster.run()
+
+    def test_peek_unwritten_raises(self):
+        cell = SyncCell(_cluster().nodes[0])
+        with pytest.raises(RuntimeStateError):
+            cell.peek()
+
+    def test_multiple_readers_all_released(self):
+        cluster = _cluster()
+        cell = SyncCell(cluster.nodes[0])
+        got = []
+
+        def reader(tag):
+            value = yield from cell.read()
+            got.append((tag, value))
+
+        def writer():
+            yield Charge(5.0, Category.CPU)
+            yield from cell.write("v")
+
+        for tag in range(3):
+            cluster.launch(0, reader(tag))
+        cluster.launch(0, writer())
+        cluster.run()
+        assert sorted(got) == [(0, "v"), (1, "v"), (2, "v")]

@@ -1,0 +1,68 @@
+"""Unit tests for the timeline viewer."""
+
+import pytest
+
+from repro.am import install_am
+from repro.machine.cluster import Cluster
+from repro.sim.timeline import render_timeline, summarize_kinds
+from repro.sim.trace import RecordingTracer
+
+
+def _traced_run():
+    tracer = RecordingTracer()
+    cluster = Cluster(2, tracer=tracer)
+    eps = install_am(cluster)
+    eps[1].register_handler("x", lambda *a: iter(()))
+
+    def main(node):
+        yield from node.service("am").send_short(1, "x", nbytes=12)
+
+    def server(node):
+        yield from node.service("am").wait_and_poll()
+
+    cluster.launch(1, server(cluster.nodes[1]), daemon=True, name="server")
+    cluster.launch(0, main(cluster.nodes[0]), name="main")
+    cluster.run()
+    return tracer
+
+
+def test_timeline_contains_all_event_kinds():
+    tracer = _traced_run()
+    text = render_timeline(tracer, n_nodes=2)
+    assert "thread.run" in text
+    assert "send" in text
+    assert "deliver" in text
+    assert "node 0" in text and "node 1" in text
+
+
+def test_rows_are_time_ordered():
+    tracer = _traced_run()
+    text = render_timeline(tracer, n_nodes=2)
+    times = [
+        float(line.split()[0])
+        for line in text.splitlines()[2:]
+        if line and line[0].isdigit() or (line and line.strip()[0].isdigit())
+    ]
+    assert times == sorted(times)
+
+
+def test_window_and_limit():
+    tracer = _traced_run()
+    limited = render_timeline(tracer, n_nodes=2, limit=2)
+    assert "more records" in limited
+    empty = render_timeline(tracer, n_nodes=2, start=1e9)
+    assert len(empty.splitlines()) <= 3
+
+
+def test_invalid_node_count_rejected():
+    with pytest.raises(ValueError):
+        render_timeline(RecordingTracer(), n_nodes=0)
+
+
+def test_summarize_kinds_counts():
+    tracer = _traced_run()
+    counts = summarize_kinds(tracer)
+    assert counts["send"] == 1
+    assert counts["deliver"] == 1
+    assert counts["thread.run"] >= 2
+    assert counts["thread.done"] >= 1
