@@ -2,8 +2,10 @@
 the library, as opposed to the virtual-time paper artifacts).
 
 Useful for tracking regressions in the engine/scheduler hot paths: the
-numbers are real seconds, and `benchmark.extra_info` records how many
-simulation events each scenario fired.
+numbers are real seconds, and ``benchmark.extra_info`` records how many
+simulation events each scenario fired plus the engine's heap-bypass
+counters (``fastpath_stats``) so a perf change can be attributed to the
+fast path rather than to workload drift.
 """
 
 import pytest
@@ -17,6 +19,8 @@ def test_engine_event_throughput(benchmark):
     """Raw engine: schedule/fire chains of dependent events."""
     from repro.sim.engine import Simulator
 
+    stats = {}
+
     def run():
         sim = Simulator()
         state = {"left": 20_000}
@@ -28,22 +32,94 @@ def test_engine_event_throughput(benchmark):
 
         sim.schedule(0.0, tick)
         sim.run()
+        stats.update(sim.fastpath_stats())
         return sim.events_fired
 
     fired = benchmark(run)
+    benchmark.extra_info.update(stats)
     assert fired == 20_001
+
+
+@pytest.mark.benchmark(group="simulator-throughput")
+def test_zero_delay_storm_throughput(benchmark):
+    """The zero-delay lane under pressure: cascades of same-instant
+    callbacks (the shape of dispatch kicks and message-arrival wakes)."""
+    from repro.sim.engine import Simulator
+
+    stats = {}
+
+    def run():
+        sim = Simulator()
+        state = {"left": 20_000}
+
+        def kick():
+            if state["left"] > 0:
+                state["left"] -= 1
+                sim.call_soon(kick)
+
+        sim.call_soon(kick)
+        sim.run()
+        stats.update(sim.fastpath_stats())
+        return sim.events_fired
+
+    fired = benchmark(run)
+    benchmark.extra_info.update(stats)
+    assert fired == 20_001
+    assert stats["immediate_fired"] == 20_001  # never touched the heap
+
+
+@pytest.mark.benchmark(group="simulator-throughput")
+def test_trampoline_charge_switch_rate(benchmark):
+    """Pure trampoline: long Charge/Switch chains, no network at all.
+
+    Two threads on one node alternate compute charges with voluntary
+    yields — the workload charge fusion exists for.  ``inline_advances``
+    in extra_info shows how many heap round-trips the fusion removed.
+    """
+    from repro.machine.cluster import Cluster
+    from repro.sim.account import Category
+    from repro.sim.effects import SWITCH, Charge
+
+    stats = {}
+
+    def body(n):
+        def gen(_node):
+            for _ in range(n):
+                yield Charge(1.5, Category.CPU)
+                yield Charge(0.5, Category.RUNTIME)
+                yield SWITCH
+
+        return gen
+
+    def run():
+        cluster = Cluster(1)
+        node = cluster.nodes[0]
+        cluster.launch(0, body(2_000)(node), "spin-a")
+        cluster.launch(0, body(2_000)(node), "spin-b")
+        cluster.run()
+        stats.update(cluster.sim.fastpath_stats())
+        return cluster.sim.events_fired
+
+    fired = benchmark(run)
+    benchmark.extra_info.update(stats)
+    assert fired > 4_000
+    assert stats["inline_advances"] > 0
 
 
 @pytest.mark.benchmark(group="simulator-throughput")
 def test_ccpp_rmi_simulation_rate(benchmark):
     """Full CC++ RMI path, 100 warm round trips per call."""
-    row = benchmark(lambda: run_cc_microbench("0-Word", iters=100))
+    stats = {}
+    row = benchmark(lambda: run_cc_microbench("0-Word", iters=100, stats_out=stats))
+    benchmark.extra_info.update(stats)
     assert row.total_us > 0
 
 
 @pytest.mark.benchmark(group="simulator-throughput")
 def test_splitc_read_simulation_rate(benchmark):
-    row = benchmark(lambda: run_sc_microbench("GP 2-Word R/W", iters=100))
+    stats = {}
+    row = benchmark(lambda: run_sc_microbench("GP 2-Word R/W", iters=100, stats_out=stats))
+    benchmark.extra_info.update(stats)
     assert row.total_us > 0
 
 

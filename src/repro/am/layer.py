@@ -36,7 +36,7 @@ from repro.am.frames import BULK_HEADER_BYTES, SHORT_HEADER_BYTES, AMFrame
 from repro.errors import RuntimeStateError, SimulationError
 from repro.machine.network import Network, Packet
 from repro.sim.account import Category, CounterNames
-from repro.sim.effects import Charge, WaitInbox
+from repro.sim.effects import WAIT_INBOX, Charge
 
 __all__ = ["AMEndpoint", "install_am"]
 
@@ -226,7 +226,7 @@ class AMEndpoint:
     def wait_and_poll(self) -> Generator[Any, Any, int]:
         """Block until at least one message is deliverable, then poll."""
         if not self.node.has_mail:
-            yield WaitInbox()
+            yield WAIT_INBOX
         return (yield from self.poll())
 
     def poll_until(self, pred: Callable[[], bool]) -> Generator[Any, Any, None]:

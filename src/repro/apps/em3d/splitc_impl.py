@@ -52,13 +52,20 @@ def run_splitc_em3d(
     version: str = "base",
     costs: CostModel = SP2_COSTS,
     warmup_steps: int = 1,
+    fast_path: bool = True,
+    tracer: Any | None = None,
 ) -> Em3dRunResult:
-    """Run one Split-C EM3D configuration and measure it."""
+    """Run one Split-C EM3D configuration and measure it.
+
+    ``fast_path``/``tracer`` exist for the golden-trace determinism suite:
+    the fast-path engine must reproduce the heap-only engine's event trace
+    and results exactly.
+    """
     if version not in VERSIONS:
         raise ReproError(f"unknown EM3D version {version!r}; pick from {VERSIONS}")
     layout = Em3dLayout(graph)
     p = graph.params
-    cluster = Cluster(p.n_procs, costs=costs)
+    cluster = Cluster(p.n_procs, costs=costs, fast_path=fast_path, tracer=tracer)
     rt = SplitCRuntime(cluster)
 
     for proc in range(p.n_procs):

@@ -14,7 +14,7 @@ from __future__ import annotations
 from collections.abc import Generator
 from typing import Any
 
-from repro.sim.effects import Switch, WaitInbox
+from repro.sim.effects import SWITCH, WAIT_INBOX
 
 __all__ = ["polling_loop"]
 
@@ -27,6 +27,6 @@ def polling_loop(node: Any) -> Generator[Any, Any, None]:
     while True:
         yield from ep.poll()
         if sched.has_other_ready():
-            yield Switch()
+            yield SWITCH
         elif not node.has_mail:
-            yield WaitInbox()
+            yield WAIT_INBOX

@@ -267,10 +267,18 @@ def run_cc_microbench(
     stub_caching: bool = True,
     persistent_buffers: bool = True,
     reception: str = "polling",
+    fast_path: bool = True,
+    stats_out: dict | None = None,
 ) -> MicroRow:
-    """Run one CC++ micro-benchmark on a fresh 2-node cluster."""
+    """Run one CC++ micro-benchmark on a fresh 2-node cluster.
+
+    ``fast_path=False`` runs the unoptimized heap-only engine; the
+    golden-trace tests assert the row is identical either way.  Pass a
+    dict as ``stats_out`` to receive the engine's ``fastpath_stats()``
+    (wall-clock instrumentation for the throughput benchmarks).
+    """
     op, scale = CC_BENCHMARKS[name]
-    cluster = Cluster(2, costs=costs)
+    cluster = Cluster(2, costs=costs, fast_path=fast_path)
     rt = CCppRuntime(
         cluster,
         stub_caching=stub_caching,
@@ -291,6 +299,8 @@ def run_cc_microbench(
 
     rt.launch(0, main, f"bench:{name}")
     rt.run()
+    if stats_out is not None:
+        stats_out.update(cluster.sim.fastpath_stats())
     return out["row"]
 
 
@@ -339,6 +349,8 @@ def run_sc_microbench(
     *,
     iters: int = _DEFAULT_ITERS,
     costs: CostModel = SP2_COSTS,
+    fast_path: bool = True,
+    stats_out: dict | None = None,
 ) -> MicroRow:
     """Run one Split-C micro-benchmark on a fresh 2-node cluster.
 
@@ -346,7 +358,7 @@ def run_sc_microbench(
     therefore servicing node 0's requests, as an SPMD program would.
     """
     op, scale = SC_BENCHMARKS[name]
-    cluster = Cluster(2, costs=costs)
+    cluster = Cluster(2, costs=costs, fast_path=fast_path)
     rt = SplitCRuntime(cluster)
     rt.register_rpc("foo", lambda _rt, _nid: 0)
     for nid in range(2):
@@ -368,6 +380,8 @@ def run_sc_microbench(
         yield from proc.barrier()
 
     rt.run_spmd(program)
+    if stats_out is not None:
+        stats_out.update(cluster.sim.fastpath_stats())
     return out["row"]
 
 

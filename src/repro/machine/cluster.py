@@ -35,12 +35,15 @@ class Cluster:
         *,
         costs: CostModel = SP2_COSTS,
         tracer: Tracer | None = None,
+        fast_path: bool = True,
     ):
         if n_nodes < 1:
             raise SimulationError(f"cluster needs >= 1 node, got {n_nodes}")
         costs.validate()
         self.costs = costs
-        self.sim = Simulator()
+        # fast_path=False forces the general heap-only engine; results are
+        # bit-identical (the golden-trace suite holds us to that)
+        self.sim = Simulator(fast_path=fast_path)
         self.network = Network(self.sim, tracer=tracer)
         self.nodes: list[Node] = []
         for nid in range(n_nodes):

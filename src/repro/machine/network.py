@@ -55,6 +55,7 @@ class Network:
     def __init__(self, sim: Simulator, *, tracer: Tracer | None = None):
         self.sim = sim
         self.tracer: Tracer = tracer if tracer is not None else NullTracer()
+        self._trace = None if type(self.tracer) is NullTracer else self.tracer.record
         self._nodes: dict[int, Any] = {}
         #: total packets ever injected (instrumentation)
         self.packets_sent = 0
@@ -97,7 +98,8 @@ class Network:
         self.packets_sent += 1
         self.bytes_carried += packet.nbytes
         src.counters.inc(CounterNames.BYTES_SENT, packet.nbytes)
-        self.tracer.record(self.sim.now, packet.src, "send", packet.describe())
+        if self._trace is not None:
+            self._trace(self.sim.now, packet.src, "send", packet.describe())
 
         def _arrive() -> None:
             self.packets_delivered += 1

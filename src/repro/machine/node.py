@@ -48,6 +48,7 @@ class Node:
         self.sim = sim
         self.costs = costs
         self.tracer: Tracer = tracer if tracer is not None else NullTracer()
+        self._trace = None if type(self.tracer) is NullTracer else self.tracer.record
         self.account = TimeAccount()
         self.counters = Counters()
         #: messages delivered by the network, oldest first
@@ -65,7 +66,10 @@ class Node:
         This only *accounts* the time; advancing the clock while the node is
         busy is the scheduler's job (it interprets ``Charge`` effects).
         """
-        self.account.add(category, us)
+        # inlined TimeAccount.add — this runs once per Charge effect
+        if us < 0:
+            raise ValueError(f"negative charge: {us} us to {category}")
+        self.account._us[category.index] += us
 
     # ---------------------------------------------------------------- network
 
@@ -77,7 +81,8 @@ class Node:
         that happens when the message is actually polled.
         """
         self.inbox.append(packet)
-        self.tracer.record(self.sim.now, self.nid, "deliver", packet.describe())
+        if self._trace is not None:
+            self._trace(self.sim.now, self.nid, "deliver", packet.describe())
         if self.scheduler is not None:
             self.scheduler.on_message_arrival()
 

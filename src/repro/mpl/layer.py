@@ -9,7 +9,7 @@ from typing import Any
 from repro.errors import RuntimeStateError
 from repro.machine.network import Network, Packet
 from repro.sim.account import Category, CounterNames
-from repro.sim.effects import Charge, WaitInbox
+from repro.sim.effects import WAIT_INBOX, Charge
 
 __all__ = ["MPLEndpoint", "install_mpl"]
 
@@ -77,7 +77,7 @@ class MPLEndpoint:
             if q:
                 yield Charge(self.node.costs.net.mpl_recv_cpu, Category.NET)
                 return q.popleft()
-            yield WaitInbox()
+            yield WAIT_INBOX
 
     def probe(self, src: int, tag: int) -> bool:
         """Non-blocking: is a matching message already here?"""

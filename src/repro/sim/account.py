@@ -36,42 +36,55 @@ class Category(enum.Enum):
         return self.value
 
 
+# Dense member index, so the accounting hot path can hit a flat list
+# instead of hashing enum members on every charge.
+for _i, _c in enumerate(Category):
+    _c.index = _i
+del _i, _c
+
+
 class TimeAccount:
-    """Accumulates charged virtual time per :class:`Category`."""
+    """Accumulates charged virtual time per :class:`Category`.
+
+    Storage is a flat list indexed by ``Category.index`` — charging is the
+    single hottest accounting operation in the simulator, and enum-keyed
+    dict access costs a Python-level ``__hash__`` call per hit.
+    """
 
     __slots__ = ("_us",)
 
     def __init__(self) -> None:
-        self._us: dict[Category, float] = {c: 0.0 for c in Category}
+        self._us: list[float] = [0.0] * len(Category)
 
     def add(self, category: Category, us: float) -> None:
         """Charge ``us`` microseconds to ``category`` (must be >= 0)."""
         if us < 0:
             raise ValueError(f"negative charge: {us} us to {category}")
-        self._us[category] += us
+        self._us[category.index] += us
 
     def get(self, category: Category) -> float:
-        return self._us[category]
+        return self._us[category.index]
 
     def total(self, *, include_idle: bool = True) -> float:
         """Sum across categories."""
-        total = sum(self._us.values())
+        total = sum(self._us)
         if not include_idle:
-            total -= self._us[Category.IDLE]
+            total -= self._us[Category.IDLE.index]
         return total
 
     def snapshot(self) -> dict[Category, float]:
         """An independent copy of the current per-category totals."""
-        return dict(self._us)
+        return {c: self._us[c.index] for c in Category}
 
     def since(self, snapshot: Mapping[Category, float]) -> dict[Category, float]:
         """Per-category delta relative to an earlier :meth:`snapshot`."""
-        return {c: self._us[c] - snapshot.get(c, 0.0) for c in Category}
+        return {c: self._us[c.index] - snapshot.get(c, 0.0) for c in Category}
 
     def merge(self, other: "TimeAccount") -> None:
         """Fold another account into this one (used to aggregate nodes)."""
-        for c in Category:
-            self._us[c] += other._us[c]
+        us, ous = self._us, other._us
+        for i in range(len(us)):
+            us[i] += ous[i]
 
     def breakdown(self, *, fold_idle_into_net: bool = True) -> dict[str, float]:
         """The five-component breakdown the paper's figures use.
@@ -79,15 +92,18 @@ class TimeAccount:
         Idle time (a node stalled waiting for a remote reply) is what the
         paper's *net* bars show, so it is folded there by default.
         """
-        out = {str(c): v for c, v in self._us.items() if c is not Category.IDLE}
+        out = {str(c): self._us[c.index] for c in Category if c is not Category.IDLE}
+        idle = self._us[Category.IDLE.index]
         if fold_idle_into_net:
-            out[str(Category.NET)] += self._us[Category.IDLE]
+            out[str(Category.NET)] += idle
         else:
-            out[str(Category.IDLE)] = self._us[Category.IDLE]
+            out[str(Category.IDLE)] = idle
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        parts = ", ".join(f"{c.value}={v:.1f}" for c, v in self._us.items() if v)
+        parts = ", ".join(
+            f"{c.value}={self._us[c.index]:.1f}" for c in Category if self._us[c.index]
+        )
         return f"TimeAccount({parts or 'empty'})"
 
 

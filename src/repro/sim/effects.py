@@ -14,7 +14,16 @@ from dataclasses import dataclass
 
 from repro.sim.account import Category
 
-__all__ = ["Effect", "Charge", "Switch", "Park", "WaitInbox"]
+__all__ = [
+    "Effect",
+    "Charge",
+    "Switch",
+    "Park",
+    "WaitInbox",
+    "SWITCH",
+    "PARK",
+    "WAIT_INBOX",
+]
 
 
 class Effect:
@@ -23,21 +32,28 @@ class Effect:
     __slots__ = ()
 
 
-@dataclass(frozen=True, slots=True)
 class Charge(Effect):
     """Consume ``us`` microseconds of this node's CPU, tagged ``category``.
 
     While the charge elapses no other thread runs on the node (the paper's
     threads package is non-preemptive), but network deliveries still land
     in the node's inbox.
+
+    Not a dataclass, unlike its stateless siblings: one is allocated per
+    charged operation, so construction is kept to two slot stores
+    (validation happens where the charge is applied — negative amounts
+    raise in ``Node.charge`` / the scheduler trampoline).  Treat instances
+    as immutable.
     """
 
-    us: float
-    category: Category = Category.CPU
+    __slots__ = ("us", "category")
 
-    def __post_init__(self) -> None:
-        if self.us < 0:
-            raise ValueError(f"negative charge {self.us} us")
+    def __init__(self, us: float, category: Category = Category.CPU):
+        self.us = us
+        self.category = category
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Charge(us={self.us!r}, category={self.category!r})"
 
 
 @dataclass(frozen=True, slots=True)
@@ -66,3 +82,10 @@ class WaitInbox(Effect):
     This is how a polling loop avoids spinning in virtual time when the
     node is otherwise quiescent.
     """
+
+
+# The stateless effects are interchangeable across instances, so hot paths
+# yield these shared singletons instead of allocating one per suspension.
+SWITCH = Switch()
+PARK = Park()
+WAIT_INBOX = WaitInbox()

@@ -7,7 +7,7 @@ from typing import Any
 
 from repro.errors import RuntimeStateError
 from repro.sim.account import Category, CounterNames
-from repro.sim.effects import Charge, Park, Switch
+from repro.sim.effects import PARK, SWITCH, Charge
 from repro.threads.thread import UThread
 
 __all__ = ["spawn", "join", "yield_now", "current_thread"]
@@ -48,11 +48,11 @@ def join(node: Any, thr: UThread) -> Generator[Any, Any, Any]:
         raise RuntimeStateError(f"{thr.name} cannot join itself")
     if thr.alive:
         thr.add_join_waiter(me)
-        yield Park()
+        yield PARK
     return thr.result
 
 
 def yield_now(node: Any) -> Generator[Any, Any, None]:
     """Voluntarily give up the CPU (one context switch)."""
     del node  # symmetry with the other services; cost comes from the effect
-    yield Switch()
+    yield SWITCH

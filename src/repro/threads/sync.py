@@ -17,7 +17,7 @@ from typing import Any
 
 from repro.errors import RuntimeStateError
 from repro.sim.account import Category, CounterNames
-from repro.sim.effects import Charge, Park
+from repro.sim.effects import PARK, Charge
 from repro.threads.api import current_thread
 from repro.threads.thread import UThread
 
@@ -60,7 +60,7 @@ class Lock:
             raise RuntimeStateError(f"{me.name} re-acquired non-reentrant {self.name}")
         self.node.counters.inc(CounterNames.LOCK_CONTENDED)
         self._waiters.append(me)
-        yield Park()
+        yield PARK
         if self._owner is not me:  # pragma: no cover - invariant guard
             raise RuntimeStateError(f"{self.name} handoff missed {me.name}")
 
@@ -123,7 +123,7 @@ class Condition:
             raise RuntimeStateError(f"{me.name} waited on condition without the lock")
         self._waiters.append(me)
         yield from self.lock.release()
-        yield Park()
+        yield PARK
         yield from self.lock.acquire()
 
     def signal(self) -> Generator[Any, Any, None]:
@@ -168,7 +168,7 @@ class Semaphore:
             self._count -= 1
             return
         self._waiters.append(me)
-        yield Park()
+        yield PARK
         # the matching up() transferred its increment directly to us
 
     def up(self) -> Generator[Any, Any, None]:
@@ -215,7 +215,7 @@ class SyncCell:
         if not self._written:
             me = current_thread(self.node)
             self._waiters.append(me)
-            yield Park()
+            yield PARK
         yield _sync_charge(self.node)
         return self._value
 

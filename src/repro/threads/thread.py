@@ -62,7 +62,9 @@ class UThread:
         self.result: Any = None
         #: exception that killed the body, if any (re-raised by join)
         self.exception: BaseException | None = None
-        self._join_waiters: list["UThread"] = []
+        # lazily created: most threads are never joined, and the apps spawn
+        # threads by the thousand, so don't pay a list per thread
+        self._join_waiters: list["UThread"] | None = None
         #: daemon threads (the polling thread) don't count as "work left"
         self.daemon = daemon
 
@@ -71,10 +73,16 @@ class UThread:
         return self.state is not ThreadState.DONE
 
     def add_join_waiter(self, waiter: "UThread") -> None:
-        self._join_waiters.append(waiter)
+        if self._join_waiters is None:
+            self._join_waiters = [waiter]
+        else:
+            self._join_waiters.append(waiter)
 
     def take_join_waiters(self) -> list["UThread"]:
-        waiters, self._join_waiters = self._join_waiters, []
+        waiters = self._join_waiters
+        if waiters is None:
+            return []
+        self._join_waiters = None
         return waiters
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -43,7 +43,7 @@ def test_cancelled_subset_never_fires(ds, data):
     sim = Simulator()
     fired = []
     events = [
-        sim.schedule(d, lambda i=i: fired.append(i)) for i, d in enumerate(ds)
+        sim.schedule_event(d, lambda i=i: fired.append(i)) for i, d in enumerate(ds)
     ]
     to_cancel = data.draw(
         st.sets(st.integers(min_value=0, max_value=len(ds) - 1))
@@ -63,6 +63,59 @@ def test_fifo_among_equal_timestamps(groups):
         sim.schedule(float(t), lambda s=seq, tt=t: fired.append((tt, s)))
     sim.run()
     assert fired == sorted(fired)
+
+
+actions = st.lists(
+    st.tuples(
+        st.sampled_from(["delay", "zero", "soon", "cancelled", "inline"]),
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False, allow_infinity=False),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+@settings(max_examples=60)
+@given(actions, delays)
+def test_fast_and_slow_engines_fire_identically(acts, seed_delays):
+    """The fast path (lane, freelist, inline advances) is bit-identical to
+    the heap-only engine on arbitrary mixes of scheduling styles."""
+
+    def drive(fast_path):
+        sim = Simulator(fast_path=fast_path)
+        fired = []
+
+        def react(i, kind, amount):
+            def fire():
+                fired.append((i, kind, sim.now))
+                if kind == "zero":
+                    sim.schedule(0.0, lambda: fired.append((i, "nested", sim.now)))
+                elif kind == "soon":
+                    sim.call_soon(lambda: fired.append((i, "nested", sim.now)))
+                elif kind == "inline":
+                    # mirrors the trampoline's charge fusion: advance the
+                    # clock and continue inline when possible, otherwise do
+                    # the same work from a real resume event
+                    wait = max(amount, 0.5)
+                    if sim.advance_inline(wait):
+                        fired.append((i, "resumed", sim.now))
+                    else:
+                        sim.schedule(wait, lambda: fired.append((i, "resumed", sim.now)))
+
+            return fire
+
+        for i, d in enumerate(seed_delays):
+            sim.schedule(d, lambda i=i: fired.append((i, "seed", sim.now)))
+        for i, (kind, amount) in enumerate(acts):
+            if kind == "cancelled":
+                ev = sim.schedule_event(amount + 1.0, lambda: fired.append("never"))
+                ev.cancel()
+            else:
+                sim.schedule(amount, react(i, kind, amount))
+        sim.run()
+        return fired, sim.now, sim.events_fired
+
+    assert drive(True) == drive(False)
 
 
 @settings(max_examples=25)

@@ -68,7 +68,7 @@ def test_schedule_at_past_rejected():
 def test_cancelled_event_does_not_fire():
     sim = Simulator()
     fired = []
-    ev = sim.schedule(5.0, lambda: fired.append(1))
+    ev = sim.schedule_event(5.0, lambda: fired.append(1))
     sim.schedule(3.0, ev.cancel)
     sim.run()
     assert fired == []
@@ -77,19 +77,32 @@ def test_cancelled_event_does_not_fire():
 
 def test_cancel_is_idempotent():
     sim = Simulator()
-    ev = sim.schedule(5.0, lambda: None)
+    ev = sim.schedule_event(5.0, lambda: None)
     ev.cancel()
     ev.cancel()
     sim.run()
 
 
+def test_cancel_after_fire_is_noop():
+    sim = Simulator()
+    fired = []
+    ev = sim.schedule_event(5.0, lambda: fired.append(1))
+    sim.run()
+    assert fired == [1]
+    assert not ev.alive
+    ev.cancel()  # must not disturb anything
+    sim.schedule(1.0, lambda: fired.append(2))
+    sim.run()
+    assert fired == [1, 2]
+
+
 def test_pending_counts_live_events():
     sim = Simulator()
-    ev = sim.schedule(5.0, lambda: None)
+    ev = sim.schedule_event(5.0, lambda: None)
     sim.schedule(6.0, lambda: None)
     assert sim.pending == 2
     ev.cancel()
-    # lazy deletion: pending decremented when popped, so run to find out
+    assert sim.pending == 1
     sim.run()
     assert sim.pending == 0
 
@@ -157,9 +170,154 @@ def test_run_not_reentrant():
 
 def test_drain_cancelled_compacts_heap():
     sim = Simulator()
-    events = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+    events = [sim.schedule_event(float(i + 1), lambda: None) for i in range(10)]
     for ev in events[:9]:
         ev.cancel()
     sim.drain_cancelled()
     sim.run()
     assert sim.now == 10.0
+
+
+# --------------------------------------------------------------- fast path
+
+
+@pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+def test_non_finite_delay_rejected(bad):
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(bad, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.schedule_at(bad, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.schedule_event(bad, lambda: None)
+
+
+def test_schedule_event_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule_event(-2.0, lambda: None)
+
+
+def test_call_soon_interleaves_with_schedule_by_seq():
+    """Lane entries and same-instant heap entries fire in scheduling order."""
+    sim = Simulator()
+    fired = []
+    sim.call_soon(lambda: fired.append("a"))
+    sim.schedule(0.0, lambda: fired.append("b"))
+    sim.schedule_event(0.0, lambda: fired.append("c"))  # heap-routed
+    sim.call_soon(lambda: fired.append("d"))
+    sim.run()
+    assert fired == ["a", "b", "c", "d"]
+
+
+def test_lane_merges_with_due_heap_events():
+    """A callback posting zero-delay work does not starve due heap events
+    scheduled earlier for the same instant."""
+    sim = Simulator()
+    fired = []
+
+    def at_ten():
+        fired.append("heap1")
+        sim.call_soon(lambda: fired.append("soon"))
+
+    sim.schedule(10.0, at_ten)
+    sim.schedule(10.0, lambda: fired.append("heap2"))
+    sim.run()
+    # heap2 (seq 2) precedes the lane entry posted at t=10 (seq 3)
+    assert fired == ["heap1", "heap2", "soon"]
+
+
+def test_auto_drain_compacts_bloated_heap():
+    from repro.sim.engine import DRAIN_MIN_CANCELLED
+
+    sim = Simulator()
+    n = DRAIN_MIN_CANCELLED * 2
+    events = [sim.schedule_event(float(i + 1), lambda: None) for i in range(n)]
+    survivors = 10
+    for ev in events[survivors:]:
+        ev.cancel()
+    # cancelled entries exceeded half the heap -> compacted automatically
+    assert len(sim._heap) < n // 2
+    assert sim.pending == survivors
+    sim.run()
+    assert sim.now == float(survivors)
+
+
+def test_fastpath_stats_accounting():
+    sim = Simulator()
+    sim.schedule(5.0, lambda: None)
+    sim.call_soon(lambda: None)
+    sim.schedule(0.0, lambda: None)
+    sim.run()
+    stats = sim.fastpath_stats()
+    assert stats["events_fired"] == 3
+    assert stats["immediate_fired"] == 2
+    assert stats["heap_fired"] == 1
+    assert stats["inline_advances"] == 0
+
+
+def test_slow_path_routes_everything_through_heap():
+    sim = Simulator(fast_path=False)
+    fired = []
+    sim.call_soon(lambda: fired.append("a"))
+    sim.schedule(0.0, lambda: fired.append("b"))
+    sim.schedule(1.0, lambda: fired.append("c"))
+    assert not sim.advance_inline(0.5)
+    sim.run()
+    assert fired == ["a", "b", "c"]
+    assert sim.fastpath_stats()["immediate_fired"] == 0
+    assert sim.fastpath_stats()["inline_advances"] == 0
+
+
+def test_advance_inline_refuses_when_event_in_window():
+    sim = Simulator()
+    sim.schedule(5.0, lambda: None)
+    assert not sim.advance_inline(5.0)  # head exactly at the boundary
+    assert sim.advance_inline(4.0)
+    assert sim.now == 4.0
+    assert sim.events_fired == 1  # stands in for the skipped resume event
+
+
+def test_advance_inline_refuses_with_lane_pending():
+    sim = Simulator()
+    sim.call_soon(lambda: None)
+    assert not sim.advance_inline(1.0)
+
+
+def test_advance_inline_ignores_cancelled_head():
+    sim = Simulator()
+    ev = sim.schedule_event(2.0, lambda: None)
+    ev.cancel()
+    assert sim.advance_inline(10.0)
+    assert sim.now == 10.0
+
+
+def test_step_merges_lane_and_heap():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: fired.append("later"))
+    sim.call_soon(lambda: fired.append("now"))
+    assert sim.step() is True
+    assert fired == ["now"]
+    assert sim.step() is True
+    assert fired == ["now", "later"]
+    assert sim.step() is False
+
+
+def test_max_events_counts_inline_advances():
+    """Charge fusion must not dodge the runaway guard: inline advances
+    consume max_events budget exactly like the resume events they replace."""
+    sim = Simulator()
+    state = {"n": 0}
+
+    def spin():
+        state["n"] += 1
+        if not sim.advance_inline(1.0):
+            sim.schedule(1.0, spin)
+            return
+        spin()
+
+    sim.schedule(1.0, spin)
+    with pytest.raises(SimulationError, match="max_events"):
+        sim.run(max_events=50)
+    assert state["n"] <= 51
