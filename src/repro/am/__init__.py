@@ -12,11 +12,12 @@ that services it is the queuing delay the paper discusses.
 """
 
 from repro.am.frames import BULK_HEADER_BYTES, SHORT_HEADER_BYTES, AMFrame
-from repro.am.layer import AMEndpoint, install_am
+from repro.am.layer import AMEndpoint, RetryPolicy, install_am
 
 __all__ = [
     "AMFrame",
     "AMEndpoint",
+    "RetryPolicy",
     "install_am",
     "SHORT_HEADER_BYTES",
     "BULK_HEADER_BYTES",

@@ -25,20 +25,43 @@ Two further mechanisms of the real SP AM layer are modeled:
   poll-on-send, each serviced message pays the software-interrupt cost
   ``interrupt_cpu``; this is the alternative the paper rejects as too
   expensive on the SP, kept here so the choice can be measured.
+
+Reliable delivery
+-----------------
+
+``install_am(cluster, reliable=True)`` inserts a **reliability sublayer**
+below the poll discipline, the way the SP's AM implementation sat on a
+reliable transport.  Every packet on a (sender, destination) channel gets
+a sequence number; the receiver acknowledges cumulatively (a standalone
+ack per accepted packet, plus a piggybacked ``ack`` field on every
+reverse-direction data packet); the sender keeps a retransmit queue with
+a timeout, exponential backoff, and capped retries
+(:class:`RetryPolicy`); duplicates and stale retransmissions are
+suppressed by sequence number and out-of-order arrivals are held until
+their gap fills, so the inbox the poll loop sees is exactly the ordered,
+exactly-once stream the unreliable fabric used to guarantee for free.
+
+The sublayer runs at *delivery* time (no poll needed to ack or to cancel
+a retransmit timer — protocol control traffic is NIC-level, not
+thread-level), and its CPU is accounted under NET without occupying the
+node's thread, so the reliability overhead shows up in the Figure 5/6
+breakdowns.  With ``reliable=False`` (the default) none of this machinery
+exists on the path and runs are bit-identical to the original layer.
 """
 
 from __future__ import annotations
 
 from collections.abc import Callable, Generator
+from dataclasses import dataclass
 from typing import Any
 
 from repro.am.frames import BULK_HEADER_BYTES, SHORT_HEADER_BYTES, AMFrame
-from repro.errors import RuntimeStateError, SimulationError
+from repro.errors import RetryExhaustedError, RuntimeStateError, SimulationError
 from repro.machine.network import Network, Packet
 from repro.sim.account import Category, CounterNames
 from repro.sim.effects import WAIT_INBOX, Charge
 
-__all__ = ["AMEndpoint", "install_am"]
+__all__ = ["AMEndpoint", "RetryPolicy", "install_am"]
 
 #: handler signature: (endpoint, src_node_id, frame) -> generator
 Handler = Callable[["AMEndpoint", int, AMFrame], Generator[Any, Any, Any]]
@@ -46,7 +69,36 @@ Handler = Callable[["AMEndpoint", int, AMFrame], Generator[Any, Any, Any]]
 KIND_SHORT = "am.short"
 KIND_BULK = "am.bulk"
 KIND_CREDIT = "am.credit"
+KIND_ACK = "am.ack"
 _CREDIT_BYTES = 12
+_ACK_BYTES = 12
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """Retransmission schedule of the reliable-delivery sublayer.
+
+    ``max_retries=0`` disables retransmission entirely (sequencing, acks
+    and duplicate suppression stay active) — useful to demonstrate that a
+    lost packet then deadlocks the protocol, which the stall watchdog
+    turns into a :class:`~repro.errors.DeadlockError`.
+    """
+
+    timeout_us: float = 500.0     # first retransmit after this long unacked
+    backoff: float = 2.0          # multiplier per successive timeout
+    max_timeout_us: float = 8000.0  # backoff cap
+    max_retries: int = 10         # per-channel, reset on any ack progress
+
+    def validate(self) -> "RetryPolicy":
+        if self.timeout_us <= 0:
+            raise SimulationError("RetryPolicy.timeout_us must be > 0")
+        if self.backoff < 1.0:
+            raise SimulationError("RetryPolicy.backoff must be >= 1")
+        if self.max_timeout_us < self.timeout_us:
+            raise SimulationError("RetryPolicy.max_timeout_us < timeout_us")
+        if self.max_retries < 0:
+            raise SimulationError("RetryPolicy.max_retries must be >= 0")
+        return self
 
 
 class AMEndpoint:
@@ -54,21 +106,52 @@ class AMEndpoint:
 
     SERVICE = "am"
 
-    def __init__(self, node: Any, network: Network, *, reception: str = "polling"):
+    def __init__(
+        self,
+        node: Any,
+        network: Network,
+        *,
+        reception: str = "polling",
+        reliable: bool = False,
+        retry: RetryPolicy | None = None,
+    ):
         if reception not in ("polling", "interrupt"):
             raise RuntimeStateError(f"unknown reception mode {reception!r}")
+        if "msg-layer" in node.services:
+            raise RuntimeStateError(
+                f"node {node.nid} already has messaging layer "
+                f"{type(node.services['msg-layer']).__name__}; exactly one "
+                "layer may own the inbox (install_am is not idempotent)"
+            )
         self.node = node
         self.network = network
         self.reception = reception
+        self.reliable = reliable
+        self.retry = (retry if retry is not None else RetryPolicy()).validate()
         self._handlers: dict[str, Handler] = {}
         self._in_handler = False
         #: flow control: remaining send credits per destination, and how
         #: many messages we have consumed per source since the last refill
         self._credits: dict[int, int] = {}
         self._consumed: dict[int, int] = {}
+        # ---- reliability sublayer state (unused when reliable=False) ----
+        #: next sequence number per destination channel
+        self._send_seq: dict[int, int] = {}
+        #: per destination: seq -> (kind, payload, nbytes, bulk) to resend
+        self._unacked: dict[int, dict[int, tuple[str, Any, int, bool]]] = {}
+        #: per destination: live retransmit timer / current rto / retries
+        self._retx_timer: dict[int, Any] = {}
+        self._rto: dict[int, float] = {}
+        self._retries: dict[int, int] = {}
+        #: next in-order sequence number expected per source
+        self._recv_next: dict[int, int] = {}
+        #: out-of-order packets held back per source: seq -> packet
+        self._recv_buffer: dict[int, dict[int, Packet]] = {}
         node.attach(self.SERVICE, self)
         # exclusive claim on the node's inbox: exactly one messaging layer
         node.attach("msg-layer", self)
+        if reliable:
+            node.deliver_filter = self._on_delivery
 
     # ------------------------------------------------------------- handlers
 
@@ -96,16 +179,16 @@ class AMEndpoint:
         distinguish at this layer).  Polls own inbox afterwards."""
         frame = AMFrame(handler, args, data)
         size = nbytes if nbytes is not None else SHORT_HEADER_BYTES + frame.payload_bytes()
-        if size > 10 * self.node.costs.net.short_max_bytes and data:
+        if size > self.node.costs.net.short_max_bytes:
             raise RuntimeStateError(
-                f"short AM of {size} bytes; use send_bulk for large payloads"
+                f"short AM of {size} bytes exceeds the "
+                f"{self.node.costs.net.short_max_bytes}-byte short frame; "
+                "use send_bulk for large payloads"
             )
         yield from self._acquire_credit(dst)
         self.node.counters.inc(CounterNames.MSG_SHORT)
         yield Charge(self.node.costs.net.short_send_cpu, Category.NET)
-        self.network.transmit(
-            Packet(src=self.node.nid, dst=dst, kind=KIND_SHORT, payload=frame, nbytes=size)
-        )
+        self._inject(dst, KIND_SHORT, frame, size)
         yield from self._poll_on_send()
 
     def send_bulk(
@@ -125,11 +208,30 @@ class AMEndpoint:
         self.node.counters.inc(CounterNames.MSG_BULK)
         net = self.node.costs.net
         yield Charge(net.short_send_cpu + net.bulk_setup_cpu, Category.NET)
-        self.network.transmit(
-            Packet(src=self.node.nid, dst=dst, kind=KIND_BULK, payload=frame, nbytes=size),
-            bulk=True,
-        )
+        self._inject(dst, KIND_BULK, frame, size, bulk=True)
         yield from self._poll_on_send()
+
+    def _inject(
+        self, dst: int, kind: str, payload: Any, nbytes: int, *, bulk: bool = False
+    ) -> None:
+        """Hand one message to the network, sequenced when reliable."""
+        if not self.reliable:
+            self.network.transmit(
+                Packet(src=self.node.nid, dst=dst, kind=kind, payload=payload, nbytes=nbytes),
+                bulk=bulk,
+            )
+            return
+        seq = self._send_seq.get(dst, 0)
+        self._send_seq[dst] = seq + 1
+        self._unacked.setdefault(dst, {})[seq] = (kind, payload, nbytes, bulk)
+        self._arm_timer(dst)
+        self.network.transmit(
+            Packet(
+                src=self.node.nid, dst=dst, kind=kind, payload=payload,
+                nbytes=nbytes, seq=seq, ack=self._recv_next.get(dst, 0) - 1,
+            ),
+            bulk=bulk,
+        )
 
     def _acquire_credit(self, dst: int) -> Generator[Any, Any, None]:
         """Consume one flow-control credit for ``dst``, spin-polling while
@@ -154,15 +256,7 @@ class AMEndpoint:
         for src in refill_to:
             self._consumed[src] -= half
             yield Charge(self.node.costs.net.short_send_cpu, Category.NET)
-            self.network.transmit(
-                Packet(
-                    src=self.node.nid,
-                    dst=src,
-                    kind=KIND_CREDIT,
-                    payload=half,
-                    nbytes=_CREDIT_BYTES,
-                )
-            )
+            self._inject(src, KIND_CREDIT, half, _CREDIT_BYTES)
 
     def _poll_on_send(self) -> Generator[Any, Any, None]:
         # The paper's discipline: reception is based on polling that occurs
@@ -171,6 +265,130 @@ class AMEndpoint:
         # mode there is no poll-on-send at all.
         if not self._in_handler and self.reception == "polling":
             yield from self.poll()
+
+    # ------------------------------------------------- reliability sublayer
+
+    def _on_delivery(self, pkt: Packet) -> tuple[Packet, ...] | list[Packet]:
+        """Node delivery filter (event context — accounts CPU directly,
+        never yields effects).  Returns the packets that enter the inbox.
+
+        Consumes acks, suppresses duplicates, holds out-of-order packets,
+        and acknowledges every sequenced arrival so the sender's
+        retransmit timer can stand down without anyone polling.
+        """
+        if pkt.ack >= 0:
+            self._on_ack(pkt.src, pkt.ack)
+        if pkt.kind == KIND_ACK:
+            return ()
+        if pkt.seq < 0:
+            return (pkt,)  # unsequenced traffic passes through untouched
+        src = pkt.src
+        net = self.node.costs.net
+        expected = self._recv_next.get(src, 0)
+        if pkt.seq < expected:
+            # stale retransmission or fault-plan duplicate: drop, re-ack
+            # (the sender clearly missed our earlier acknowledgment)
+            self.node.charge(Category.NET, net.poll_hit_cpu)
+            self.node.counters.inc(CounterNames.PKT_DUP_SUPPRESSED)
+            self._send_ack(src)
+            return ()
+        if pkt.seq > expected:
+            buf = self._recv_buffer.setdefault(src, {})
+            if pkt.seq in buf:
+                self.node.charge(Category.NET, net.poll_hit_cpu)
+                self.node.counters.inc(CounterNames.PKT_DUP_SUPPRESSED)
+            else:
+                buf[pkt.seq] = pkt
+            # dup-ack: repeats the cumulative ack so the sender learns
+            # which sequence number the channel is actually stuck on
+            self._send_ack(src)
+            return ()
+        accepted = [pkt]
+        expected += 1
+        buf = self._recv_buffer.get(src)
+        if buf:
+            while expected in buf:
+                accepted.append(buf.pop(expected))
+                expected += 1
+        self._recv_next[src] = expected
+        self._send_ack(src)
+        return accepted
+
+    def _send_ack(self, src: int) -> None:
+        """Standalone cumulative ack back to ``src`` (NIC-level: charged
+        NET, no thread time, no flow control, itself unsequenced)."""
+        self.node.charge(Category.NET, self.node.costs.net.short_send_cpu)
+        self.node.counters.inc(CounterNames.PKT_ACK)
+        self.network.transmit(
+            Packet(
+                src=self.node.nid, dst=src, kind=KIND_ACK, payload=None,
+                nbytes=_ACK_BYTES, ack=self._recv_next.get(src, 0) - 1,
+            )
+        )
+
+    def _on_ack(self, peer: int, upto: int) -> None:
+        """Cumulative ack from ``peer``: retire sequences <= ``upto``."""
+        pending = self._unacked.get(peer)
+        if not pending:
+            return
+        acked = [s for s in pending if s <= upto]
+        if not acked:
+            return
+        for s in acked:
+            del pending[s]
+        # progress: reset the backoff clock for whatever is still unacked
+        self._retries[peer] = 0
+        self._rto[peer] = self.retry.timeout_us
+        timer = self._retx_timer.pop(peer, None)
+        if timer is not None:
+            timer.cancel()
+        if pending:
+            self._arm_timer(peer)
+
+    def _arm_timer(self, peer: int) -> None:
+        if self.retry.max_retries == 0 or peer in self._retx_timer:
+            return
+        rto = self._rto.setdefault(peer, self.retry.timeout_us)
+        self._retx_timer[peer] = self.network.sim.schedule_event(
+            rto, lambda: self._on_timeout(peer)
+        )
+
+    def _on_timeout(self, peer: int) -> None:
+        """Retransmit timer fired: resend the oldest unacked sequence."""
+        self._retx_timer.pop(peer, None)
+        pending = self._unacked.get(peer)
+        if not pending:
+            return
+        retries = self._retries.get(peer, 0) + 1
+        seq = min(pending)
+        if retries > self.retry.max_retries:
+            raise RetryExhaustedError(
+                f"node {self.node.nid}: seq {seq} to node {peer} still "
+                f"unacked after {self.retry.max_retries} retransmissions "
+                f"(rto reached {self._rto.get(peer, 0.0):.0f} us); "
+                "peer presumed dead",
+                src=self.node.nid, dst=peer, seq=seq,
+                retries=self.retry.max_retries,
+            )
+        self._retries[peer] = retries
+        kind, payload, nbytes, bulk = pending[seq]
+        net = self.node.costs.net
+        cost = net.short_send_cpu + (net.bulk_setup_cpu if bulk else 0.0)
+        self.node.charge(Category.NET, cost)
+        self.node.counters.inc(CounterNames.PKT_RETRANSMIT)
+        self.network.transmit(
+            Packet(
+                src=self.node.nid, dst=peer, kind=kind, payload=payload,
+                nbytes=nbytes, seq=seq, ack=self._recv_next.get(peer, 0) - 1,
+                attempt=retries,
+            ),
+            bulk=bulk,
+        )
+        self._rto[peer] = min(
+            self._rto.get(peer, self.retry.timeout_us) * self.retry.backoff,
+            self.retry.max_timeout_us,
+        )
+        self._arm_timer(peer)
 
     # ----------------------------------------------------------------- polls
 
@@ -239,11 +457,58 @@ class AMEndpoint:
         while not pred():
             yield from self.wait_and_poll()
 
+    # ------------------------------------------------------------ diagnostics
 
-def install_am(cluster: Any, *, reception: str = "polling") -> list[AMEndpoint]:
+    def describe(self) -> str:
+        """One-line protocol state summary for the deadlock dump."""
+        bits = []
+        if self._credits:
+            bits.append(f"credits={dict(sorted(self._credits.items()))}")
+        if self._consumed:
+            consumed = {s: n for s, n in sorted(self._consumed.items()) if n}
+            if consumed:
+                bits.append(f"consumed={consumed}")
+        if self.reliable:
+            unacked = {
+                d: sorted(p) for d, p in sorted(self._unacked.items()) if p
+            }
+            if unacked:
+                bits.append(f"unacked={unacked}")
+                bits.append(
+                    "rto={%s}" % ", ".join(
+                        f"{d}: {self._rto.get(d, self.retry.timeout_us):.0f}us"
+                        f"/{self._retries.get(d, 0)} retries"
+                        for d in unacked
+                    )
+                )
+            if self._recv_next:
+                bits.append(f"recv_next={dict(sorted(self._recv_next.items()))}")
+            buffered = {
+                s: sorted(b) for s, b in sorted(self._recv_buffer.items()) if b
+            }
+            if buffered:
+                bits.append(f"held-out-of-order={buffered}")
+        return " ".join(bits) if bits else "idle"
+
+
+def install_am(
+    cluster: Any,
+    *,
+    reception: str = "polling",
+    reliable: bool = False,
+    retry: RetryPolicy | None = None,
+) -> list[AMEndpoint]:
     """Create one endpoint per node of ``cluster``; returns them in node
-    order.  Idempotent per node is *not* supported — one AM layer per run."""
+    order.  Idempotent per node is *not* supported — one AM layer per run
+    (a duplicate install raises :class:`~repro.errors.RuntimeStateError`).
+
+    ``reliable=True`` activates the sequence/ack/retransmit sublayer on
+    every endpoint — required for correct runs under a lossy
+    :class:`~repro.machine.faults.FaultPlan`.
+    """
     return [
-        AMEndpoint(node, cluster.network, reception=reception)
+        AMEndpoint(
+            node, cluster.network, reception=reception, reliable=reliable, retry=retry
+        )
         for node in cluster.nodes
     ]

@@ -54,19 +54,26 @@ def run_splitc_em3d(
     warmup_steps: int = 1,
     fast_path: bool = True,
     tracer: Any | None = None,
+    faults: Any | None = None,
+    reliable: bool = False,
+    retry: Any = None,
 ) -> Em3dRunResult:
     """Run one Split-C EM3D configuration and measure it.
 
     ``fast_path``/``tracer`` exist for the golden-trace determinism suite:
     the fast-path engine must reproduce the heap-only engine's event trace
-    and results exactly.
+    and results exactly.  ``faults``/``reliable``/``retry`` run the same
+    workload over a lossy fabric with the reliable AM sublayer (the
+    drop-rate ablation in :mod:`repro.experiments.faults`).
     """
     if version not in VERSIONS:
         raise ReproError(f"unknown EM3D version {version!r}; pick from {VERSIONS}")
     layout = Em3dLayout(graph)
     p = graph.params
-    cluster = Cluster(p.n_procs, costs=costs, fast_path=fast_path, tracer=tracer)
-    rt = SplitCRuntime(cluster)
+    cluster = Cluster(
+        p.n_procs, costs=costs, fast_path=fast_path, tracer=tracer, faults=faults
+    )
+    rt = SplitCRuntime(cluster, reliable=reliable, retry=retry)
 
     for proc in range(p.n_procs):
         mem = rt.memory(proc)

@@ -106,12 +106,16 @@ class CCppRuntime:
         persistent_buffers: bool = True,
         start_polling: bool = True,
         reception: str = "polling",
+        reliable: bool = False,
+        retry: Any = None,
     ):
         self.cluster = cluster
         self.stub_caching = stub_caching
         self.persistent_buffers = persistent_buffers
         self.reception = reception
-        self.endpoints: list[AMEndpoint] = install_am(cluster, reception=reception)
+        self.endpoints: list[AMEndpoint] = install_am(
+            cluster, reception=reception, reliable=reliable, retry=retry
+        )
         self.memories = [CCMemory(n) for n in cluster.nodes]
         self.stub_tables = [StubTable(n) for n in cluster.nodes]
         self.buffer_managers = [BufferManager(n) for n in cluster.nodes]

@@ -18,16 +18,44 @@ class SimulationError(ReproError):
 
 
 class DeadlockError(SimulationError):
-    """The event queue drained while simulated programs were still blocked.
+    """The simulation stalled while simulated programs were still blocked —
+    either the event queue drained, or the stall watchdog saw no thread
+    make progress for a whole horizon.
 
     Carries a human-readable diagnosis of which threads were parked where,
-    which is what you want when a barrier or reply is missing.
+    which is what you want when a barrier or reply is missing.  When the
+    cluster can assemble one, ``diagnostics`` holds the full dump:
+    per-node blocked-thread stacks, AM credit/retransmit state, and the
+    packets still in flight on the network.
     """
 
-    def __init__(self, message: str, *, blocked: list[str] | None = None):
+    def __init__(
+        self,
+        message: str,
+        *,
+        blocked: list[str] | None = None,
+        diagnostics: str = "",
+    ):
+        if diagnostics:
+            message = f"{message}\n{diagnostics}"
         super().__init__(message)
         #: names/states of the threads still blocked at drain time
         self.blocked: list[str] = list(blocked or [])
+        #: full diagnostic dump (empty when no cluster context was available)
+        self.diagnostics = diagnostics
+
+
+class RetryExhaustedError(SimulationError):
+    """The reliable AM sublayer gave up on a channel: a packet stayed
+    unacknowledged through the full retransmission budget, so the peer is
+    presumed dead (or the fault plan is harsher than the retry policy)."""
+
+    def __init__(self, message: str, *, src: int, dst: int, seq: int, retries: int):
+        super().__init__(message)
+        self.src = src
+        self.dst = dst
+        self.seq = seq
+        self.retries = retries
 
 
 class MarshalError(ReproError):

@@ -20,7 +20,7 @@ def main(argv: list[str] | None = None) -> int:
         "artifact",
         choices=[
             "table1", "table4", "figure5", "figure6", "nexus", "ablations",
-            "scaling", "scorecard", "all",
+            "faults", "scaling", "scorecard", "all",
         ],
         help="which paper artifact to regenerate",
     )
@@ -56,7 +56,7 @@ def main(argv: list[str] | None = None) -> int:
 
     chosen = (
         ["table1", "table4", "figure5", "figure6", "nexus", "ablations",
-         "scaling", "scorecard"]
+         "faults", "scaling", "scorecard"]
         if args.artifact == "all"
         else [args.artifact]
     )
@@ -87,6 +87,10 @@ def main(argv: list[str] | None = None) -> int:
             from repro.experiments import ablations
 
             print(ablations.run(iters=args.iters).render())
+        elif artifact == "faults":
+            from repro.experiments import faults
+
+            print(faults.run(iters=args.iters).render())
         elif artifact == "scaling":
             from repro.experiments import scaling
 

@@ -388,10 +388,24 @@ def run_sc_microbench(
 # ------------------------------------------------------------- raw references
 
 
-def am_base_rtt(*, iters: int = _DEFAULT_ITERS, costs: CostModel = SP2_COSTS) -> float:
-    """Round-trip time of the bare AM layer (the 55 µs reference)."""
-    cluster = Cluster(2, costs=costs)
-    eps = install_am(cluster)
+def am_base_rtt(
+    *,
+    iters: int = _DEFAULT_ITERS,
+    costs: CostModel = SP2_COSTS,
+    faults: Any | None = None,
+    reliable: bool = False,
+    retry: Any = None,
+    stats_out: dict | None = None,
+) -> float:
+    """Round-trip time of the bare AM layer (the 55 µs reference).
+
+    ``faults``/``reliable``/``retry`` measure the same ping-pong over a
+    lossy fabric with the reliable-delivery sublayer: the drop-rate
+    ablation of :mod:`repro.experiments.faults`.  ``stats_out`` receives
+    protocol counters (retransmits, acks, drops) and the summed NET µs.
+    """
+    cluster = Cluster(2, costs=costs, faults=faults)
+    eps = install_am(cluster, reliable=reliable, retry=retry)
     state = {"got": 0}
 
     def echo(ep, src, frame):
@@ -429,6 +443,18 @@ def am_base_rtt(*, iters: int = _DEFAULT_ITERS, costs: CostModel = SP2_COSTS) ->
     cluster.launch(1, server(cluster.nodes[1]), daemon=True)
     cluster.launch(0, main(cluster.nodes[0]))
     cluster.run()
+    if stats_out is not None:
+        counters = cluster.aggregate_counters()
+        stats_out.update(
+            {
+                "packets_sent": cluster.network.packets_sent,
+                "packets_dropped": cluster.network.packets_dropped,
+                "retransmits": counters.get(CounterNames.PKT_RETRANSMIT),
+                "acks": counters.get(CounterNames.PKT_ACK),
+                "dup_suppressed": counters.get(CounterNames.PKT_DUP_SUPPRESSED),
+                "net_us": cluster.aggregate_account().get(Category.NET),
+            }
+        )
     return out["rtt"]
 
 

@@ -13,6 +13,7 @@ from pathlib import Path
 from repro.experiments import (
     ablations,
     export,
+    faults,
     figure5,
     figure6,
     nexus_compare,
@@ -31,6 +32,7 @@ ARTIFACTS = (
     "figure6",
     "nexus_compare",
     "ablations",
+    "faults",
     "scaling",
     "scorecard",
 )
@@ -71,6 +73,8 @@ def write_all(
         _write("nexus_compare.txt", nexus_compare.run(quick=quick).render())
     if "ablations" in artifacts:
         _write("ablations.txt", ablations.run(iters=iters).render())
+    if "faults" in artifacts:
+        _write("faults.txt", faults.run(iters=iters).render())
     if "scaling" in artifacts:
         _write("scaling.txt", scaling.run().render())
     if "scorecard" in artifacts:

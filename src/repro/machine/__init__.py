@@ -5,10 +5,13 @@
   message inbox, attachment points for the scheduler and runtimes.
 * :mod:`repro.machine.network` — the interconnect: latency + bandwidth,
   deterministic in-order delivery per (src, dst) pair.
+* :mod:`repro.machine.faults` — seeded fault injection: packet drop /
+  duplicate / delay rules and scheduled node outages.
 * :mod:`repro.machine.cluster` — builds a ready-to-run machine.
 """
 
 from repro.machine.cluster import Cluster
+from repro.machine.faults import FaultPlan, FaultRule, NodeFault
 from repro.machine.costs import (
     MPL_COSTS,
     NEXUS_COSTS,
@@ -33,4 +36,7 @@ __all__ = [
     "Network",
     "Packet",
     "Node",
+    "FaultPlan",
+    "FaultRule",
+    "NodeFault",
 ]

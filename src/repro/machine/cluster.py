@@ -7,15 +7,19 @@ from typing import Any
 
 from repro.errors import DeadlockError, SimulationError
 from repro.machine.costs import SP2_COSTS, CostModel
+from repro.machine.faults import FaultPlan
 from repro.machine.network import Network
 from repro.machine.node import Node
 from repro.sim.account import Counters, TimeAccount
-from repro.sim.engine import Simulator
+from repro.sim.engine import Simulator, Watchdog
 from repro.sim.trace import Tracer
 from repro.threads.scheduler import Scheduler
 from repro.threads.thread import UThread
 
 __all__ = ["Cluster"]
+
+#: default stall-watchdog window (virtual µs) when ``watchdog_us=True``
+DEFAULT_WATCHDOG_US = 100_000.0
 
 
 class Cluster:
@@ -27,6 +31,10 @@ class Cluster:
         cluster.launch(0, my_program(cluster.nodes[0]))
         cluster.run()
         print(cluster.sim.now, "virtual us elapsed")
+
+    ``faults`` takes a :class:`~repro.machine.faults.FaultPlan` to make the
+    interconnect lossy on purpose (pair it with
+    ``install_am(..., reliable=True)`` for runs that should still finish).
     """
 
     def __init__(
@@ -36,6 +44,7 @@ class Cluster:
         costs: CostModel = SP2_COSTS,
         tracer: Tracer | None = None,
         fast_path: bool = True,
+        faults: FaultPlan | None = None,
     ):
         if n_nodes < 1:
             raise SimulationError(f"cluster needs >= 1 node, got {n_nodes}")
@@ -44,7 +53,7 @@ class Cluster:
         # fast_path=False forces the general heap-only engine; results are
         # bit-identical (the golden-trace suite holds us to that)
         self.sim = Simulator(fast_path=fast_path)
-        self.network = Network(self.sim, tracer=tracer)
+        self.network = Network(self.sim, tracer=tracer, faults=faults)
         self.nodes: list[Node] = []
         for nid in range(n_nodes):
             node = Node(nid, self.sim, costs, tracer=tracer)
@@ -78,6 +87,7 @@ class Cluster:
         until: float | None = None,
         max_events: int | None = None,
         check_deadlock: bool = True,
+        watchdog_us: float | bool | None = None,
     ) -> float:
         """Run to quiescence (or ``until``); returns the final virtual time.
 
@@ -85,13 +95,68 @@ class Cluster:
         the simulated program deadlocked (lost reply, missing barrier
         partner...) — raise :class:`DeadlockError` with a per-thread
         diagnosis instead of silently returning.
+
+        ``watchdog_us`` additionally arms a stall watchdog
+        (:class:`~repro.sim.engine.Watchdog`) that catches virtual-time
+        *livelock*: events still firing (retransmit timers, polling
+        daemons) while no packet gets delivered and no thread takes a
+        step for a full window.  Pass a window in virtual µs, or ``True``
+        for the default; the same :class:`DeadlockError` dump results.
+        On a healthy run the only footprint is the final tick rounding
+        the end time up to its window boundary (results are unchanged),
+        so measured runs should leave the watchdog off.
         """
-        self.sim.run(until=until, max_events=max_events)
+        dog: Watchdog | None = None
+        if watchdog_us:
+            window = DEFAULT_WATCHDOG_US if watchdog_us is True else float(watchdog_us)
+            dog = Watchdog(
+                self.sim, self._progress, window_us=window, on_stall=self._on_stall
+            ).start()
+        try:
+            self.sim.run(until=until, max_events=max_events)
+        finally:
+            if dog is not None:
+                dog.stop()
         if check_deadlock and until is None:
             self._check_deadlock()
         return self.sim.now
 
-    def _check_deadlock(self) -> None:
+    # ------------------------------------------------------------- diagnostics
+
+    def _progress(self) -> tuple:
+        """The stall watchdog's metric: anything a program would call
+        forward motion.  Event counts are deliberately excluded — a
+        retransmit loop fires events forever without progressing."""
+        return (
+            self.network.packets_delivered,
+            tuple(n.scheduler.steps for n in self.nodes),  # type: ignore[union-attr]
+        )
+
+    def _on_stall(self) -> bool:
+        """Watchdog verdict on a frozen window.
+
+        A thread mid-charge (a long compute block spans many windows
+        without a trampoline step) is still progress — keep watching.
+        A quiet window with nothing blocked (stray timer ticks after the
+        program finished) is not a deadlock either.  Otherwise every
+        thread is blocked while the event loop spins: diagnose and raise.
+        """
+        for node in self.nodes:
+            sched = node.scheduler
+            assert sched is not None
+            if sched.current is not None or sched.ready_count:
+                return True  # somebody is actually running; keep watching
+        stuck = self._blocked_summary()
+        if not stuck:
+            return True  # idle, not deadlocked; re-arms only if events remain
+        raise DeadlockError(
+            "stall watchdog: no packet delivery or thread step for a full "
+            "window, with blocked non-daemon threads",
+            blocked=stuck,
+            diagnostics=self.diagnose(),
+        )
+
+    def _blocked_summary(self) -> list[str]:
         stuck: list[str] = []
         for node in self.nodes:
             sched = node.scheduler
@@ -99,11 +164,47 @@ class Cluster:
             for thr in sched.blocked_threads():
                 if not thr.daemon:
                     stuck.append(f"node {node.nid}: {thr.name} [{thr.state.value}]")
+        return stuck
+
+    def diagnose(self) -> str:
+        """The full state dump attached to every :class:`DeadlockError`:
+        per-node blocked-thread stacks, messaging-layer protocol state
+        (credits, unacked sequences, retransmit timers), inbox depths,
+        and the packets still on the wire."""
+        lines: list[str] = [f"t={self.sim.now:.1f}us"]
+        for node in self.nodes:
+            sched = node.scheduler
+            assert sched is not None
+            lines.append(
+                f"node {node.nid}: inbox={len(node.inbox)} "
+                f"ready={sched.ready_count} steps={sched.steps}"
+            )
+            running = sched.current
+            if running is not None:
+                lines.append(f"  running: {running.name} at {running.where()}")
+            for entry in sched.describe_blocked():
+                lines.append(f"  blocked: {entry}")
+            layer = node.services.get("msg-layer")
+            describe = getattr(layer, "describe", None)
+            if describe is not None:
+                lines.append(f"  protocol: {describe()}")
+        in_flight = self.network.describe_in_flight()
+        if in_flight:
+            lines.append(f"in flight ({len(in_flight)}):")
+            lines.extend(f"  {entry}" for entry in in_flight)
+        faults = self.network.faults
+        if faults is not None and not faults.empty:
+            lines.append(f"faults: {faults!r}")
+        return "\n".join(lines)
+
+    def _check_deadlock(self) -> None:
+        stuck = self._blocked_summary()
         if stuck:
             raise DeadlockError(
                 "simulation drained with blocked non-daemon threads:\n  "
                 + "\n  ".join(stuck),
                 blocked=stuck,
+                diagnostics=self.diagnose(),
             )
 
     # ------------------------------------------------------------- aggregates

@@ -63,7 +63,9 @@ class NetworkCosts:
     bulk_recv_cpu: float = 4.0    # receiver-side bulk completion
     poll_empty_cpu: float = 0.3   # a poll that finds nothing
     poll_hit_cpu: float = 0.5     # inbox bookkeeping per received message
-    short_max_bytes: int = 32     # payload that fits the short-AM path
+    short_max_bytes: int = 64     # whole short frame (header + args + data)
+                                  # that fits one switch packet; bigger
+                                  # payloads must ride the bulk path
     interrupt_cpu: float = 50.0   # software-interrupt cost per message
                                   # (why the SP runtimes poll instead)
     credit_window: int = 256      # AM flow-control window per channel
@@ -218,7 +220,7 @@ NEXUS_COSTS = CostModel(
         bulk_recv_cpu=150.0,
         poll_empty_cpu=4.0,
         poll_hit_cpu=8.0,
-        short_max_bytes=32,
+        short_max_bytes=64,
     ),
     runtime=RuntimeCosts(
         stub_lookup=12.0,         # no stub cache: handler-table indirection

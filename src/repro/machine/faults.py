@@ -1,0 +1,258 @@
+"""Deterministic fault injection for the simulated interconnect.
+
+The paper's AM layer assumes the SP switch never loses a packet, and so
+does :class:`~repro.machine.network.Network` by default.  A
+:class:`FaultPlan` makes the fabric breakable *on purpose*: seeded rules
+drop, duplicate, or delay packets per ``(src, dst, kind)``, and scheduled
+:class:`NodeFault` windows take whole nodes off the fabric (a paused node
+neither sends nor receives for the window; a failed node is dark forever).
+
+Everything is deterministic: one :class:`numpy.random.Generator` seeded
+through :mod:`repro.util.rng`, consulted exactly once per matching packet
+in injection order — the engine's deterministic event ordering therefore
+makes whole faulty runs reproduce bit-for-bit from the seed.  An empty
+plan (or ``faults=None`` on the network) never touches the RNG and leaves
+the delivery path byte-identical to the reliable fabric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.util.rng import DEFAULT_SEED, derive_seed, make_rng
+
+__all__ = ["FaultRule", "NodeFault", "FaultDecision", "FaultPlan"]
+
+_INF = float("inf")
+
+#: actions a plan can take on one injected packet
+DELIVER = "deliver"
+DROP = "drop"
+
+
+@dataclass(slots=True)
+class FaultRule:
+    """One probabilistic disruption rule.
+
+    ``src``/``dst``/``kind`` of ``None`` are wildcards; ``kind`` matches
+    by prefix so ``"am."`` covers every AM packet class.  Probabilities
+    are evaluated from a single uniform draw in the order drop →
+    duplicate → delay, so ``drop + duplicate + delay`` must not exceed 1.
+    ``delay_us`` is the fixed extra latency of a delayed packet and
+    ``jitter_us`` a uniform extra on top — enough to push a packet past
+    its successors and reorder a FIFO channel.
+    """
+
+    src: int | None = None
+    dst: int | None = None
+    kind: str | None = None
+    drop: float = 0.0
+    duplicate: float = 0.0
+    delay: float = 0.0
+    delay_us: float = 100.0
+    jitter_us: float = 0.0
+
+    def validate(self) -> "FaultRule":
+        for name in ("drop", "duplicate", "delay"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise SimulationError(f"FaultRule.{name}={p} is not a probability")
+        if self.drop + self.duplicate + self.delay > 1.0 + 1e-12:
+            raise SimulationError(
+                "FaultRule probabilities sum past 1.0: "
+                f"drop={self.drop} duplicate={self.duplicate} delay={self.delay}"
+            )
+        if self.delay_us < 0 or self.jitter_us < 0:
+            raise SimulationError("fault delays must be >= 0")
+        return self
+
+    def matches(self, src: int, dst: int, kind: str) -> bool:
+        if self.src is not None and self.src != src:
+            return False
+        if self.dst is not None and self.dst != dst:
+            return False
+        if self.kind is not None and not kind.startswith(self.kind):
+            return False
+        return True
+
+
+@dataclass(slots=True)
+class NodeFault:
+    """Take one node off the fabric for ``[start, start + duration)``.
+
+    While dark, packets *from* the node are dropped at injection and
+    packets *to* it are dropped at what would have been their arrival.  A
+    finite pause instead holds inbound packets until the window closes
+    (they arrive in their original channel order at ``start + duration``).
+    ``duration=inf`` is a permanent failure.
+    """
+
+    nid: int
+    start: float
+    duration: float = _INF
+
+    def validate(self) -> "NodeFault":
+        if self.start < 0 or self.duration <= 0:
+            raise SimulationError(
+                f"NodeFault window [{self.start}, +{self.duration}) is empty"
+            )
+        return self
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def dark_at(self, t: float) -> bool:
+        return self.start <= t < self.end
+
+
+@dataclass(slots=True)
+class FaultDecision:
+    """What the plan decreed for one injected packet."""
+
+    action: str = DELIVER        # DELIVER or DROP
+    extra_delay_us: float = 0.0  # added to the wire time when delivering
+    duplicate: bool = False      # deliver a second copy as well
+    reason: str = ""             # which rule / node fault fired (tracing)
+
+
+_CLEAN = FaultDecision()
+
+
+class FaultPlan:
+    """A seeded schedule of misbehavior for one network.
+
+    Build one, add rules and node faults, hand it to
+    ``Cluster(..., faults=plan)`` (or ``Network(sim, faults=plan)``)::
+
+        plan = FaultPlan(seed=7).drop("am.", rate=0.1)
+        plan.pause_node(1, at=5_000.0, duration=2_000.0)
+
+    The same seed and workload reproduce the same faulty run exactly.
+    """
+
+    def __init__(
+        self,
+        *,
+        seed: int = DEFAULT_SEED,
+        rules: tuple[FaultRule, ...] | list[FaultRule] = (),
+        node_faults: tuple[NodeFault, ...] | list[NodeFault] = (),
+    ):
+        self.seed = seed
+        self._rng = make_rng(derive_seed(seed, "fault-plan"))
+        self.rules: list[FaultRule] = [r.validate() for r in rules]
+        self.node_faults: list[NodeFault] = [f.validate() for f in node_faults]
+        #: decisions taken, per action (instrumentation)
+        self.decisions: dict[str, int] = {"drop": 0, "duplicate": 0, "delay": 0}
+
+    # ------------------------------------------------------------- authoring
+
+    def add_rule(self, rule: FaultRule) -> "FaultPlan":
+        self.rules.append(rule.validate())
+        return self
+
+    def drop(
+        self,
+        kind: str | None = None,
+        *,
+        rate: float,
+        src: int | None = None,
+        dst: int | None = None,
+    ) -> "FaultPlan":
+        """Shorthand: drop ``rate`` of packets matching the filter."""
+        return self.add_rule(FaultRule(src=src, dst=dst, kind=kind, drop=rate))
+
+    def duplicate(
+        self,
+        kind: str | None = None,
+        *,
+        rate: float,
+        src: int | None = None,
+        dst: int | None = None,
+    ) -> "FaultPlan":
+        """Shorthand: deliver ``rate`` of matching packets twice."""
+        return self.add_rule(FaultRule(src=src, dst=dst, kind=kind, duplicate=rate))
+
+    def delay(
+        self,
+        kind: str | None = None,
+        *,
+        rate: float,
+        delay_us: float,
+        jitter_us: float = 0.0,
+        src: int | None = None,
+        dst: int | None = None,
+    ) -> "FaultPlan":
+        """Shorthand: add extra latency to ``rate`` of matching packets."""
+        return self.add_rule(
+            FaultRule(
+                src=src, dst=dst, kind=kind,
+                delay=rate, delay_us=delay_us, jitter_us=jitter_us,
+            )
+        )
+
+    def pause_node(self, nid: int, *, at: float, duration: float) -> "FaultPlan":
+        """Take ``nid`` off the fabric for ``[at, at + duration)``."""
+        self.node_faults.append(NodeFault(nid, at, duration).validate())
+        return self
+
+    def fail_node(self, nid: int, *, at: float) -> "FaultPlan":
+        """Take ``nid`` off the fabric permanently from ``at`` on."""
+        self.node_faults.append(NodeFault(nid, at).validate())
+        return self
+
+    # -------------------------------------------------------------- deciding
+
+    @property
+    def empty(self) -> bool:
+        """True when the plan can never disturb a packet."""
+        return not self.rules and not self.node_faults
+
+    def decide(self, src: int, dst: int, kind: str, now: float, arrival: float) -> FaultDecision:
+        """Judge one packet injected at ``now`` due at ``arrival``.
+
+        Node-fault windows are checked first (deterministically, no RNG);
+        then the first matching rule consumes exactly one uniform draw, so
+        the random stream depends only on the deterministic injection
+        order of matching packets.
+        """
+        for nf in self.node_faults:
+            if nf.nid == src and nf.dark_at(now):
+                self.decisions["drop"] += 1
+                return FaultDecision(action=DROP, reason=f"node {src} dark (send)")
+            if nf.nid == dst and nf.dark_at(arrival):
+                if nf.end == _INF:
+                    self.decisions["drop"] += 1
+                    return FaultDecision(action=DROP, reason=f"node {dst} failed")
+                self.decisions["delay"] += 1
+                return FaultDecision(
+                    extra_delay_us=nf.end - arrival,
+                    reason=f"node {dst} paused until t={nf.end:.1f}",
+                )
+        for rule in self.rules:
+            if not rule.matches(src, dst, kind):
+                continue
+            u = float(self._rng.random())
+            if u < rule.drop:
+                self.decisions["drop"] += 1
+                return FaultDecision(action=DROP, reason="rule drop")
+            u -= rule.drop
+            if u < rule.duplicate:
+                self.decisions["duplicate"] += 1
+                return FaultDecision(duplicate=True, reason="rule duplicate")
+            u -= rule.duplicate
+            if u < rule.delay:
+                extra = rule.delay_us
+                if rule.jitter_us:
+                    extra += float(self._rng.random()) * rule.jitter_us
+                self.decisions["delay"] += 1
+                return FaultDecision(extra_delay_us=extra, reason="rule delay")
+            return _CLEAN  # the draw chose "leave it alone"
+        return _CLEAN
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<FaultPlan seed={self.seed} rules={len(self.rules)} "
+            f"node_faults={len(self.node_faults)} decisions={self.decisions}>"
+        )

@@ -8,6 +8,12 @@ pair — the engine's tie-break guarantees it, and a property test checks it.
 The network charges **no CPU**: sender- and receiver-side CPU overheads are
 charged by the messaging layers (:mod:`repro.am`, :mod:`repro.mpl`), which
 is exactly the split the paper's AM column vs runtime columns reflect.
+
+A :class:`~repro.machine.faults.FaultPlan` makes the fabric imperfect on
+purpose: matching packets can be dropped, duplicated, or delayed, and
+whole nodes can go dark for scheduled windows.  With ``faults=None`` (the
+default) the delivery path is byte-identical to the original reliable
+fabric — the golden-trace suite holds us to that.
 """
 
 from __future__ import annotations
@@ -17,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.errors import SimulationError
+from repro.machine.faults import DROP, FaultPlan
 from repro.sim.account import CounterNames
 from repro.sim.engine import Simulator
 from repro.sim.trace import NullTracer, Tracer
@@ -34,6 +41,12 @@ class Packet:
     packet to the right handler ('am.short', 'am.bulk', 'mpl', ...).
     ``payload`` is opaque to the network (the messaging layers put marshalled
     bytes or structured records here).
+
+    ``seq``/``ack`` belong to the reliable-delivery sublayer
+    (:mod:`repro.am`): ``seq`` is the per-channel sequence number (-1 =
+    unsequenced), ``ack`` a piggybacked cumulative acknowledgment (-1 =
+    none), and ``attempt`` counts retransmissions of the same sequence
+    number (0 = original send).
     """
 
     src: int
@@ -44,23 +57,43 @@ class Packet:
     send_time: float = 0.0
     arrival_time: float = 0.0
     pid: int = field(default_factory=lambda: next(_packet_ids))
+    seq: int = -1
+    ack: int = -1
+    attempt: int = 0
 
     def describe(self) -> str:
-        return f"{self.kind}#{self.pid} {self.src}->{self.dst} ({self.nbytes}B)"
+        rel = f" seq={self.seq}" if self.seq >= 0 else ""
+        if self.attempt:
+            rel += f" retx={self.attempt}"
+        return f"{self.kind}#{self.pid} {self.src}->{self.dst} ({self.nbytes}B){rel}"
 
 
 class Network:
     """Connects the nodes of one cluster."""
 
-    def __init__(self, sim: Simulator, *, tracer: Tracer | None = None):
+    def __init__(
+        self,
+        sim: Simulator,
+        *,
+        tracer: Tracer | None = None,
+        faults: FaultPlan | None = None,
+    ):
         self.sim = sim
         self.tracer: Tracer = tracer if tracer is not None else NullTracer()
         self._trace = None if type(self.tracer) is NullTracer else self.tracer.record
         self._nodes: dict[int, Any] = {}
+        #: fault-injection plan; None (or an empty plan) = perfect fabric
+        self.faults = faults
         #: total packets ever injected (instrumentation)
         self.packets_sent = 0
         self.packets_delivered = 0
+        #: packets the fault plan ate / extra copies it minted
+        self.packets_dropped = 0
+        self.packets_duplicated = 0
         self.bytes_carried = 0
+        #: packets scheduled for delivery but not yet landed, by pid
+        #: (diagnostics for the deadlock dump; also backs ``in_flight``)
+        self._in_flight: dict[int, Packet] = {}
 
     def register(self, node: Any) -> None:
         """Add a node to the fabric (done by the cluster builder)."""
@@ -78,6 +111,12 @@ class Network:
         except KeyError:
             raise SimulationError(f"no node {nid} on this network") from None
 
+    @property
+    def in_flight(self) -> int:
+        """Packets injected (including duplicates) but neither delivered
+        nor dropped yet."""
+        return len(self._in_flight)
+
     def transmit(self, packet: Packet, *, bulk: bool = False) -> None:
         """Inject ``packet``; it is delivered to the destination inbox after
         the wire time computed from the source node's cost model.
@@ -93,22 +132,74 @@ class Network:
             if bulk
             else net_costs.short_wire_time(packet.nbytes)
         )
-        packet.send_time = self.sim.now
-        packet.arrival_time = self.sim.now + wire
+        now = self.sim.now
+        packet.send_time = now
+        packet.arrival_time = now + wire
         self.packets_sent += 1
         self.bytes_carried += packet.nbytes
         src.counters.inc(CounterNames.BYTES_SENT, packet.nbytes)
         if self._trace is not None:
-            self._trace(self.sim.now, packet.src, "send", packet.describe())
+            self._trace(now, packet.src, "send", packet.describe())
+
+        faults = self.faults
+        if faults is not None:
+            verdict = faults.decide(
+                packet.src, packet.dst, packet.kind, now, packet.arrival_time
+            )
+            if verdict.action is DROP:
+                self.packets_dropped += 1
+                src.counters.inc(CounterNames.PKT_DROPPED)
+                if self._trace is not None:
+                    self._trace(now, packet.src, "drop", f"{packet.describe()}: {verdict.reason}")
+                return
+            if verdict.extra_delay_us:
+                wire += verdict.extra_delay_us
+                packet.arrival_time = now + wire
+                src.counters.inc(CounterNames.PKT_DELAYED)
+            if verdict.duplicate:
+                # the copy is a distinct packet (own pid) sharing the
+                # payload and reliability fields; it rides the same wire
+                # time, landing right after the original at the same
+                # instant (engine tie-break keeps the order deterministic)
+                self.packets_duplicated += 1
+                src.counters.inc(CounterNames.PKT_DUPLICATED)
+                copy = Packet(
+                    src=packet.src, dst=packet.dst, kind=packet.kind,
+                    payload=packet.payload, nbytes=packet.nbytes,
+                    seq=packet.seq, ack=packet.ack, attempt=packet.attempt,
+                )
+                copy.send_time = now
+                copy.arrival_time = now + wire
+                self._schedule_delivery(copy, dst, wire)
+
+        self._schedule_delivery(packet, dst, wire)
+
+    def _schedule_delivery(self, packet: Packet, dst: Any, wire: float) -> None:
+        self._in_flight[packet.pid] = packet
 
         def _arrive() -> None:
+            del self._in_flight[packet.pid]
             self.packets_delivered += 1
             dst.deliver(packet)
 
         self.sim.schedule(wire, _arrive)
 
     def quiescent(self) -> bool:
-        """True when nothing is in flight and every inbox is empty."""
-        if self.packets_sent != self.packets_delivered:
+        """True when nothing is in flight and every inbox is empty.
+
+        Counts actual in-flight packets rather than comparing sent vs
+        delivered totals, so it stays correct when the fault plan drops
+        or duplicates traffic.
+        """
+        if self._in_flight:
             return False
         return all(not n.has_mail for n in self._nodes.values())
+
+    def describe_in_flight(self) -> list[str]:
+        """The packets currently on the wire, oldest first (diagnostics)."""
+        return [
+            f"{p.describe()} sent t={p.send_time:.1f} due t={p.arrival_time:.1f}"
+            for p in sorted(
+                self._in_flight.values(), key=lambda p: (p.arrival_time, p.pid)
+            )
+        ]

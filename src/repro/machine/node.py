@@ -53,6 +53,9 @@ class Node:
         self.counters = Counters()
         #: messages delivered by the network, oldest first
         self.inbox: deque["Packet"] = deque()
+        #: optional reliability sublayer hook (see :meth:`deliver`): maps an
+        #: arriving packet to the packets that actually enter the inbox
+        self.deliver_filter: Any = None
         #: set by :class:`repro.threads.scheduler.Scheduler`
         self.scheduler: "Scheduler | None" = None
         #: set by the runtimes (AM endpoint, Split-C memory, CC++ tables...)
@@ -79,7 +82,27 @@ class Node:
         Appends to the inbox and pokes the scheduler so threads blocked in
         ``WaitInbox`` become runnable.  No receive CPU is charged here —
         that happens when the message is actually polled.
+
+        When a messaging layer installed a ``deliver_filter`` (the AM
+        reliable-delivery sublayer), the filter sees every arrival first
+        and returns the packets that actually enter the inbox: acks are
+        consumed outright, duplicates suppressed, and out-of-order packets
+        held back until their gap fills — all below the poll discipline,
+        the way the SP's reliability sublayer sat below AM proper.
         """
+        filt = self.deliver_filter
+        if filt is not None:
+            accepted = filt(packet)
+            if not accepted:
+                return
+            trace = self._trace
+            for pkt in accepted:
+                self.inbox.append(pkt)
+                if trace is not None:
+                    trace(self.sim.now, self.nid, "deliver", pkt.describe())
+            if self.scheduler is not None:
+                self.scheduler.on_message_arrival()
+            return
         self.inbox.append(packet)
         if self._trace is not None:
             self._trace(self.sim.now, self.nid, "deliver", packet.describe())

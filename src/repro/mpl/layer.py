@@ -23,6 +23,12 @@ class MPLEndpoint:
     SERVICE = "mpl"
 
     def __init__(self, node: Any, network: Network):
+        if "msg-layer" in node.services:
+            raise RuntimeStateError(
+                f"node {node.nid} already has messaging layer "
+                f"{type(node.services['msg-layer']).__name__}; exactly one "
+                "layer may own the inbox (install_mpl is not idempotent)"
+            )
         self.node = node
         self.network = network
         #: (src, tag) -> queue of payloads, FIFO per matching key

@@ -165,3 +165,10 @@ class CounterNames:
     RBUF_ALLOC = "ccpp.rbuf.alloc"
     LOCK_CONTENDED = "threads.lock.contended"
     LOCK_UNCONTENDED = "threads.lock.uncontended"
+    # fault injection + reliable-delivery sublayer
+    PKT_DROPPED = "net.pkt.dropped"         # injected packets the fault plan ate
+    PKT_DUPLICATED = "net.pkt.duplicated"   # extra copies the fault plan minted
+    PKT_DELAYED = "net.pkt.delayed"         # packets given extra fault latency
+    PKT_RETRANSMIT = "net.pkt.retransmit"   # reliability-sublayer resends
+    PKT_DUP_SUPPRESSED = "net.pkt.dup_suppressed"  # duplicates dropped by seq
+    PKT_ACK = "net.pkt.ack"                 # standalone acks sent

@@ -55,7 +55,7 @@ from heapq import heapify, heappop, heappush
 
 from repro.errors import SimulationError
 
-__all__ = ["Event", "Simulator"]
+__all__ = ["Event", "Simulator", "Watchdog"]
 
 _INF = float("inf")
 
@@ -522,3 +522,76 @@ class Simulator:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Simulator t={self._now:.3f}us pending={self.pending}>"
+
+
+class Watchdog:
+    """Stall detector: samples a progress metric every ``window_us`` of
+    virtual time and calls ``on_stall`` when two consecutive samples are
+    equal while events are still being consumed.
+
+    The metric is whatever ``progress()`` returns (any equality-comparable
+    snapshot — the cluster uses packets delivered + scheduler trampoline
+    steps).  A simulation that *drains* is never a watchdog case — the run
+    loop returns and the caller inspects the final state; the watchdog
+    exists for virtual-time **livelock**, where events keep firing (e.g. a
+    retransmit timer whose packets a fault plan keeps eating) but nothing
+    the program would call progress ever happens.
+
+    ``on_stall`` decides what a stall means: raise (the cluster raises
+    :class:`~repro.errors.DeadlockError` with a full diagnostic dump),
+    or return True to keep watching / False to stand down.  The watchdog
+    never keeps an otherwise-finished simulation alive: it re-arms only
+    while other events are pending.
+    """
+
+    __slots__ = ("sim", "window_us", "ticks", "stalls", "_progress", "_on_stall", "_last", "_event")
+
+    def __init__(
+        self,
+        sim: Simulator,
+        progress: Callable[[], object],
+        *,
+        window_us: float,
+        on_stall: Callable[[], bool],
+    ):
+        if not (_INF > window_us > 0.0):
+            raise SimulationError(f"watchdog window must be positive, got {window_us}")
+        self.sim = sim
+        self.window_us = window_us
+        self._progress = progress
+        self._on_stall = on_stall
+        self._last: object = progress()
+        self._event: Event | None = None
+        #: instrumentation: windows inspected / consecutive stalled windows
+        self.ticks = 0
+        self.stalls = 0
+
+    @property
+    def armed(self) -> bool:
+        return self._event is not None and self._event.alive
+
+    def start(self) -> "Watchdog":
+        if self._event is None:
+            self._event = self.sim.schedule_event(self.window_us, self._tick)
+        return self
+
+    def stop(self) -> None:
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _tick(self) -> None:
+        self._event = None
+        self.ticks += 1
+        snapshot = self._progress()
+        if snapshot == self._last:
+            self.stalls += 1
+            if not self._on_stall():
+                return  # handler stood the watchdog down
+        else:
+            self.stalls = 0
+            self._last = snapshot
+        if self.sim.pending:
+            # re-arm only while the simulation has a life of its own —
+            # the watchdog must never be the thing keeping it running
+            self._event = self.sim.schedule_event(self.window_us, self._tick)

@@ -71,9 +71,11 @@ class _NodeState:
 class SplitCRuntime:
     """Installs and drives Split-C on a cluster."""
 
-    def __init__(self, cluster: Cluster):
+    def __init__(self, cluster: Cluster, *, reliable: bool = False, retry: Any = None):
         self.cluster = cluster
-        self.endpoints: list[AMEndpoint] = install_am(cluster)
+        self.endpoints: list[AMEndpoint] = install_am(
+            cluster, reliable=reliable, retry=retry
+        )
         self.memories: list[Memory] = [Memory(n) for n in cluster.nodes]
         self._state: list[_NodeState] = [_NodeState() for _ in cluster.nodes]
         self._procs: list[SCProcess] = [

@@ -65,6 +65,8 @@ class Scheduler:
         self._trace = None if type(tracer) is NullTracer else tracer.record
         #: threads that ever ran on this node (diagnostics)
         self.threads: list[UThread] = []
+        #: trampoline entries — the stall watchdog's progress signal
+        self.steps = 0
 
     # ------------------------------------------------------------- inspection
 
@@ -91,6 +93,15 @@ class Scheduler:
 
     def live_nondaemon_count(self) -> int:
         return sum(1 for t in self.threads if t.alive and not t.daemon)
+
+    def describe_blocked(self) -> list[str]:
+        """One line per blocked thread, with its generator stack (the
+        per-node section of the :class:`~repro.errors.DeadlockError` dump)."""
+        lines = []
+        for t in self.blocked_threads():
+            tag = f"{t.state.value}, daemon" if t.daemon else t.state.value
+            lines.append(f"{t.name} [{tag}] at {t.where()}")
+        return lines
 
     # --------------------------------------------------------------- creation
 
@@ -218,6 +229,7 @@ class Scheduler:
         charges whose window contains no pending event are *fused*: the
         clock advances inline and the loop keeps pumping the generator
         (no heap event, no trampoline re-entry)."""
+        self.steps += 1
         node = self.node
         sim = self.sim
         costs = node.costs.threads

@@ -72,6 +72,22 @@ class UThread:
     def alive(self) -> bool:
         return self.state is not ThreadState.DONE
 
+    def where(self) -> str:
+        """Where the thread body is suspended: the chain of generator
+        frames (outermost first) down through every ``yield from``.  The
+        payload of the :class:`~repro.errors.DeadlockError` dump."""
+        frames: list[str] = []
+        gen: Any = self.gen
+        while gen is not None:
+            frame = getattr(gen, "gi_frame", None)
+            if frame is None:
+                break
+            frames.append(f"{frame.f_code.co_name}:{frame.f_lineno}")
+            gen = getattr(gen, "gi_yieldfrom", None)
+        if not frames:
+            return "<not started>" if self.state is ThreadState.NEW else "<finished>"
+        return " -> ".join(frames)
+
     def add_join_waiter(self, waiter: "UThread") -> None:
         if self._join_waiters is None:
             self._join_waiters = [waiter]

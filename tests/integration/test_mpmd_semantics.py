@@ -16,7 +16,7 @@ from repro.ccpp import (
     processor_class,
     remote,
 )
-from repro.errors import SimulationError
+from repro.errors import RuntimeStateError, SimulationError
 from repro.machine.cluster import Cluster
 
 
@@ -144,11 +144,20 @@ class TestLayerExclusivity:
 
         cluster = Cluster(2)
         install_am(cluster)
-        with pytest.raises(SimulationError):
-            install_mpl(cluster)  # service name clash is caught at attach
+        with pytest.raises(RuntimeStateError, match="messaging layer"):
+            install_mpl(cluster)  # caught before any node is half-built
+
+    def test_mpl_then_am_rejected(self):
+        from repro.am import install_am
+        from repro.mpl import install_mpl
+
+        cluster = Cluster(2)
+        install_mpl(cluster)
+        with pytest.raises(RuntimeStateError, match="MPLEndpoint"):
+            install_am(cluster)
 
     def test_two_ccpp_runtimes_rejected(self):
         cluster = Cluster(2)
         CCppRuntime(cluster)
-        with pytest.raises(SimulationError):
+        with pytest.raises(RuntimeStateError):
             CCppRuntime(cluster)

@@ -5,12 +5,13 @@ import pytest
 from repro.am import AMEndpoint, install_am
 from repro.errors import RuntimeStateError, SimulationError
 from repro.machine.cluster import Cluster
+from repro.machine.costs import SP2_COSTS
 from repro.sim.account import Category, CounterNames
 from repro.sim.effects import Charge
 
 
-def _cluster_with_am(n=2):
-    cluster = Cluster(n)
+def _cluster_with_am(n=2, **cluster_kw):
+    cluster = Cluster(n, **cluster_kw)
     eps = install_am(cluster)
     return cluster, eps
 
@@ -47,6 +48,41 @@ class TestHandlers:
         with pytest.raises(RuntimeStateError):
             eps[0].register_handler("x", lambda *a: None)
         eps[0].register_handler("x", lambda *a: None, replace=True)
+
+    def test_oversize_short_rejected_uniformly(self):
+        """Any short frame past short_max_bytes is rejected — with or
+        without a data payload (the old guard only fired with data and at
+        ten times the limit)."""
+        cluster, eps = _cluster_with_am()
+        limit = cluster.costs.net.short_max_bytes
+
+        def data_heavy(node):
+            yield from node.service("am").send_short(1, "h", data=b"x" * (limit + 1))
+
+        def args_heavy(node):
+            # no data at all; nbytes override says the frame is too big
+            yield from node.service("am").send_short(1, "h", nbytes=limit + 1)
+
+        for body in (data_heavy, args_heavy):
+            gen = body(cluster.nodes[0])
+            with pytest.raises(RuntimeStateError, match="short frame"):
+                next(gen)
+
+    def test_short_at_exact_limit_accepted(self):
+        cluster, eps = _cluster_with_am()
+        eps[1].register_handler("h", lambda *a: iter(()))
+        limit = cluster.costs.net.short_max_bytes
+
+        def sender(node):
+            yield from node.service("am").send_short(1, "h", nbytes=limit)
+
+        def drain(node):
+            yield from node.service("am").wait_and_poll()
+
+        cluster.launch(1, drain(cluster.nodes[1]))
+        cluster.launch(0, sender(cluster.nodes[0]))
+        cluster.run()
+        assert cluster.network.packets_delivered == 1
 
     def test_unknown_handler_is_loud(self):
         cluster, eps = _cluster_with_am()
@@ -264,3 +300,123 @@ class TestPolling:
         cluster.launch(0, sender(cluster.nodes[0]))
         cluster.run()
         assert depth["max"] == 1
+
+
+class TestCreditFlowControl:
+    """Edge cases of the credit window (the paper's AM flow control)."""
+
+    def _stream(self, n_msgs, *, window, reception="polling", final_polls=0):
+        """``final_polls`` lets the sender absorb trailing credit refills
+        (refills are applied at poll time, not delivery time)."""
+        cluster = Cluster(2, costs=SP2_COSTS.with_net(credit_window=window))
+        eps = install_am(cluster, reception=reception)
+        handled = []
+
+        def h(ep, src, frame):
+            handled.append(frame.args[0])
+            return
+            yield
+
+        eps[1].register_handler("h", h)
+
+        def sender(node):
+            ep = node.service("am")
+            for i in range(n_msgs):
+                yield from ep.send_short(1, "h", args=(i,), nbytes=16)
+            for _ in range(final_polls):
+                yield from ep.wait_and_poll()
+
+        cluster.launch(1, _poll_server(cluster.nodes[1]), daemon=True)
+        cluster.launch(0, sender(cluster.nodes[0]))
+        cluster.run()
+        return cluster, eps, handled
+
+    def test_refill_at_exactly_half_window(self):
+        """Consuming exactly half the window triggers one refill that
+        restores the sender to a full window."""
+        cluster, eps, handled = self._stream(2, window=4, final_polls=1)
+        assert handled == [0, 1]
+        # receiver sent one refill of window//2 = 2 -> sender back at 4
+        assert eps[0]._credits[1] == 4
+        assert eps[1]._consumed[0] == 0
+
+    def test_below_half_window_no_refill(self):
+        cluster, eps, handled = self._stream(1, window=4)
+        assert handled == [0]
+        assert eps[0]._credits[1] == 3  # one consumed, nothing refilled
+        assert eps[1]._consumed[0] == 1
+
+    def test_exhaustion_stalls_then_recovers(self):
+        """More messages than the window: the sender must stall on
+        credits and resume on refills, and every message still lands."""
+        cluster, eps, handled = self._stream(9, window=2)
+        assert handled == list(range(9))
+        # conservation: consumed credits match refills minus outstanding
+        assert 0 <= eps[0]._credits[1] <= 2
+
+    def test_exhaustion_with_interrupt_reception(self):
+        """Same exhaustion pattern under interrupt-mode reception (no
+        poll-on-send; the spin in _acquire_credit does the polling)."""
+        cluster, eps, handled = self._stream(9, window=2, reception="interrupt")
+        assert handled == list(range(9))
+        net = cluster.costs.net
+        # each handled message paid the software-interrupt surcharge
+        assert cluster.nodes[1].account.get(Category.NET) >= 9 * net.interrupt_cpu
+
+    def test_loopback_bypasses_credits(self):
+        """Self-sends never consume window credits (no refill protocol
+        with yourself) — more sends than the window must not stall."""
+        cluster, eps = _cluster_with_am(1, costs=SP2_COSTS.with_net(credit_window=2))
+        handled = []
+
+        def h(ep, src, frame):
+            handled.append(frame.args[0])
+            return
+            yield
+
+        eps[0].register_handler("h", h)
+
+        def body(node):
+            ep = node.service("am")
+            for i in range(6):  # 3x the window
+                yield from ep.send_short(0, "h", args=(i,), nbytes=16)
+            yield from ep.poll_until(lambda: len(handled) >= 6)
+
+        cluster.launch(0, body(cluster.nodes[0]))
+        cluster.run()
+        assert handled == list(range(6))
+        assert 0 not in eps[0]._credits  # the bypass never touched the table
+
+    def test_handler_replies_exempt_from_credits(self):
+        """A handler's reply must not consume window credits (the
+        request/reply protocol pre-reserves its slot) — otherwise a full
+        window of requests could deadlock both sides."""
+        cluster, eps = _cluster_with_am(2, costs=SP2_COSTS.with_net(credit_window=2))
+        got = {"n": 0}
+
+        def echo(ep, src, frame):
+            yield from ep.send_short(src, "ack", nbytes=12)
+
+        def ack(ep, src, frame):
+            got["n"] += 1
+            return
+            yield
+
+        for ep in eps:
+            ep.register_handler("echo", echo)
+            ep.register_handler("ack", ack)
+
+        def main(node):
+            ep = node.service("am")
+            for i in range(6):
+                want = got["n"] + 1
+                yield from ep.send_short(1, "echo", nbytes=16)
+                yield from ep.poll_until(lambda: got["n"] >= want)
+
+        cluster.launch(1, _poll_server(cluster.nodes[1]), daemon=True)
+        cluster.launch(0, main(cluster.nodes[0]))
+        cluster.run()
+        assert got["n"] == 6  # 3x the window of round trips, no stall
+        # replies rode reserved slots: node 1's balance never went below
+        # its initial window (it only grows, from refills for the acks)
+        assert eps[1]._credits.get(0, 2) >= 2

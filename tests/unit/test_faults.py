@@ -1,0 +1,171 @@
+"""Unit tests for the fault-injection layer (machine/faults.py).
+
+Covers rule validation and matching, deterministic decisions from the
+seed, node outage windows, and the network-level accounting the plan
+drives (packets_dropped / packets_duplicated, quiescent() correctness).
+"""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.machine.cluster import Cluster
+from repro.machine.faults import DELIVER, DROP, FaultPlan, FaultRule, NodeFault
+from repro.machine.network import Packet
+from repro.sim.account import CounterNames
+
+
+def _send(cluster, *, src=0, dst=1, kind="am.short", nbytes=16, payload=None):
+    cluster.network.transmit(
+        Packet(src=src, dst=dst, kind=kind, payload=payload, nbytes=nbytes)
+    )
+
+
+class TestValidation:
+    def test_probability_out_of_range(self):
+        with pytest.raises(SimulationError):
+            FaultRule(drop=1.5).validate()
+        with pytest.raises(SimulationError):
+            FaultRule(duplicate=-0.1).validate()
+
+    def test_probabilities_must_not_sum_past_one(self):
+        with pytest.raises(SimulationError):
+            FaultRule(drop=0.5, duplicate=0.4, delay=0.2).validate()
+        FaultRule(drop=0.5, duplicate=0.3, delay=0.2).validate()  # exactly 1 ok
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            FaultRule(delay=0.1, delay_us=-1.0).validate()
+
+    def test_empty_node_fault_window_rejected(self):
+        with pytest.raises(SimulationError):
+            NodeFault(0, start=5.0, duration=0.0).validate()
+        with pytest.raises(SimulationError):
+            NodeFault(0, start=-1.0).validate()
+
+
+class TestMatching:
+    def test_wildcards_and_kind_prefix(self):
+        rule = FaultRule(kind="am.")
+        assert rule.matches(0, 1, "am.short")
+        assert rule.matches(3, 2, "am.credit")
+        assert not rule.matches(0, 1, "mpl")
+        pinned = FaultRule(src=0, dst=1, kind="am.short")
+        assert pinned.matches(0, 1, "am.short")
+        assert not pinned.matches(1, 0, "am.short")
+        assert not pinned.matches(0, 2, "am.short")
+
+    def test_first_matching_rule_wins(self):
+        plan = FaultPlan(rules=[FaultRule(kind="am.short", drop=1.0), FaultRule(drop=0.0)])
+        verdict = plan.decide(0, 1, "am.short", 0.0, 20.0)
+        assert verdict.action is DROP
+
+
+class TestDeterminism:
+    def test_same_seed_same_decisions(self):
+        def decisions(seed):
+            plan = FaultPlan(seed=seed).drop("am.", rate=0.3).delay(
+                "am.", rate=0.2, delay_us=50.0, jitter_us=25.0
+            )
+            return [
+                (v.action, v.extra_delay_us, v.duplicate)
+                for v in (plan.decide(0, 1, "am.short", float(i), float(i) + 20.0) for i in range(200))
+            ]
+
+        assert decisions(7) == decisions(7)
+        assert decisions(7) != decisions(8)
+
+    def test_empty_plan_is_inert(self):
+        plan = FaultPlan()
+        assert plan.empty
+        for i in range(10):
+            v = plan.decide(0, 1, "am.short", float(i), float(i) + 20.0)
+            assert v.action is DELIVER and not v.duplicate and v.extra_delay_us == 0.0
+        assert plan.decisions == {"drop": 0, "duplicate": 0, "delay": 0}
+
+    def test_rate_extremes(self):
+        everything = FaultPlan().drop("am.", rate=1.0)
+        nothing = FaultPlan().drop("am.", rate=0.0)
+        for i in range(50):
+            assert everything.decide(0, 1, "am.short", 0.0, 20.0).action is DROP
+            assert nothing.decide(0, 1, "am.short", 0.0, 20.0).action is DELIVER
+
+
+class TestNodeFaults:
+    def test_failed_node_drops_both_directions(self):
+        plan = FaultPlan().fail_node(1, at=0.0)
+        assert plan.decide(1, 0, "am.short", 5.0, 25.0).action is DROP  # from dark
+        assert plan.decide(0, 1, "am.short", 5.0, 25.0).action is DROP  # to dark
+        assert plan.decide(0, 2, "am.short", 5.0, 25.0).action is DELIVER
+
+    def test_pause_holds_inbound_until_window_end(self):
+        plan = FaultPlan().pause_node(1, at=10.0, duration=100.0)
+        v = plan.decide(0, 1, "am.short", 5.0, 25.0)  # arrives mid-window
+        assert v.action is DELIVER
+        assert v.extra_delay_us == pytest.approx(110.0 - 25.0)
+        # outside the window nothing happens
+        assert plan.decide(0, 1, "am.short", 200.0, 220.0).extra_delay_us == 0.0
+
+    def test_paused_node_cannot_send_during_window(self):
+        plan = FaultPlan().pause_node(0, at=0.0, duration=50.0)
+        assert plan.decide(0, 1, "am.short", 10.0, 30.0).action is DROP
+        assert plan.decide(0, 1, "am.short", 60.0, 80.0).action is DELIVER
+
+
+class TestNetworkIntegration:
+    def test_drop_all_counts_and_stays_quiescent(self):
+        cluster = Cluster(2, faults=FaultPlan().drop("am.", rate=1.0))
+        for _ in range(3):
+            _send(cluster)
+        cluster.sim.run()
+        net = cluster.network
+        assert net.packets_sent == 3
+        assert net.packets_dropped == 3
+        assert net.packets_delivered == 0
+        assert not cluster.nodes[1].inbox
+        # sent != delivered, yet nothing is actually in flight or queued
+        assert net.quiescent()
+        counters = cluster.aggregate_counters()
+        assert counters.get(CounterNames.PKT_DROPPED) == 3
+
+    def test_duplicate_delivers_two_copies(self):
+        cluster = Cluster(2, faults=FaultPlan().duplicate("am.", rate=1.0))
+        _send(cluster)
+        cluster.sim.run()
+        net = cluster.network
+        assert net.packets_duplicated == 1
+        assert net.packets_delivered == 2
+        inbox = cluster.nodes[1].inbox
+        assert len(inbox) == 2
+        assert inbox[0].pid != inbox[1].pid  # distinct packets, same payload
+        assert net.in_flight == 0
+        assert not net.quiescent()  # both copies await a poll
+        assert cluster.aggregate_counters().get(CounterNames.PKT_DUPLICATED) == 1
+
+    def test_delay_pushes_arrival_and_counts(self):
+        cluster = Cluster(
+            2, faults=FaultPlan().delay("am.", rate=1.0, delay_us=500.0)
+        )
+        _send(cluster, nbytes=0)
+        cluster.sim.run()
+        wire = cluster.costs.net.wire_latency
+        assert cluster.sim.now == pytest.approx(wire + 500.0)
+        assert cluster.nodes[1].inbox[0].arrival_time == pytest.approx(wire + 500.0)
+        assert cluster.aggregate_counters().get(CounterNames.PKT_DELAYED) == 1
+
+    def test_no_faults_accounting_unchanged(self):
+        cluster = Cluster(2)
+        _send(cluster)
+        cluster.sim.run()
+        net = cluster.network
+        assert net.packets_dropped == 0 and net.packets_duplicated == 0
+        assert net.packets_sent == net.packets_delivered == 1
+        assert len(cluster.nodes[1].inbox) == 1
+
+    def test_in_flight_registry_tracks_wire(self):
+        cluster = Cluster(2)
+        _send(cluster)
+        assert cluster.network.in_flight == 1
+        assert cluster.network.describe_in_flight()
+        cluster.sim.run()
+        assert cluster.network.in_flight == 0
+        assert cluster.network.describe_in_flight() == []

@@ -1,0 +1,215 @@
+"""Unit tests for the reliable AM delivery sublayer.
+
+The contract: under any FaultPlan that eventually lets traffic through,
+every message is handled exactly once, in per-channel order, and the run
+is deterministic from the seed.  The price (acks, retransmissions,
+duplicate suppression) is accounted under NET and visible in counters.
+"""
+
+import pytest
+
+from repro.am import RetryPolicy, install_am
+from repro.errors import RetryExhaustedError, SimulationError
+from repro.machine.cluster import Cluster
+from repro.machine.faults import FaultPlan
+from repro.sim.account import Category, CounterNames
+
+
+def _poll_server(node):
+    ep = node.service("am")
+    while True:
+        yield from ep.wait_and_poll()
+
+
+def _run_stream(faults, *, n_msgs=40, reliable=True, retry=None, seed=0):
+    """One sender streams numbered messages to a polling receiver."""
+    cluster = Cluster(2, faults=faults)
+    eps = install_am(cluster, reliable=reliable, retry=retry)
+    got = []
+
+    def h(ep, src, frame):
+        got.append(frame.args[0])
+        return
+        yield
+
+    eps[1].register_handler("h", h)
+
+    def sender(node):
+        ep = node.service("am")
+        for i in range(n_msgs):
+            yield from ep.send_short(1, "h", args=(i,), nbytes=16)
+
+    cluster.launch(1, _poll_server(cluster.nodes[1]), daemon=True)
+    cluster.launch(0, sender(cluster.nodes[0]))
+    cluster.run()
+    return cluster, got
+
+
+class TestExactlyOnceInOrder:
+    def test_under_drops(self):
+        plan = FaultPlan(seed=3).drop("am.", rate=0.25)
+        cluster, got = _run_stream(plan)
+        assert got == list(range(40))
+        counters = cluster.aggregate_counters()
+        assert counters.get(CounterNames.PKT_RETRANSMIT) > 0
+        assert counters.get(CounterNames.PKT_ACK) > 0
+
+    def test_under_duplicates(self):
+        plan = FaultPlan(seed=4).duplicate("am.", rate=0.5)
+        cluster, got = _run_stream(plan)
+        assert got == list(range(40))
+        assert cluster.aggregate_counters().get(CounterNames.PKT_DUP_SUPPRESSED) > 0
+
+    def test_under_reordering_delays(self):
+        # enough extra latency to leapfrog several successors
+        plan = FaultPlan(seed=5).delay("am.short", rate=0.3, delay_us=300.0, jitter_us=100.0)
+        _, got = _run_stream(plan)
+        assert got == list(range(40))
+
+    def test_under_everything_at_once(self):
+        plan = (
+            FaultPlan(seed=6)
+            .drop("am.", rate=0.15)
+            .duplicate("am.", rate=0.15)
+            .delay("am.", rate=0.15, delay_us=250.0, jitter_us=50.0)
+        )
+        _, got = _run_stream(plan)
+        assert got == list(range(40))
+
+    def test_loopback_channel_is_reliable_too(self):
+        cluster = Cluster(1, faults=FaultPlan(seed=9).drop("am.short", rate=0.3))
+        eps = install_am(cluster, reliable=True)
+        got = []
+
+        def h(ep, src, frame):
+            got.append(frame.args[0])
+            return
+            yield
+
+        eps[0].register_handler("h", h)
+
+        def body(node):
+            ep = node.service("am")
+            for i in range(10):
+                yield from ep.send_short(0, "h", args=(i,), nbytes=16)
+            yield from ep.poll_until(lambda: len(got) >= 10)
+
+        cluster.launch(0, body(cluster.nodes[0]))
+        cluster.run()
+        assert got == list(range(10))
+
+
+class TestDeterminism:
+    def test_same_seed_reproduces_the_run(self):
+        def once():
+            plan = FaultPlan(seed=11).drop("am.", rate=0.2).duplicate("am.", rate=0.1)
+            cluster, got = _run_stream(plan)
+            counters = cluster.aggregate_counters()
+            return (
+                cluster.sim.now,
+                got,
+                cluster.network.packets_sent,
+                counters.get(CounterNames.PKT_RETRANSMIT),
+                counters.get(CounterNames.PKT_ACK),
+            )
+
+        assert once() == once()
+
+    def test_different_seed_different_run(self):
+        def once(seed):
+            plan = FaultPlan(seed=seed).drop("am.", rate=0.2)
+            cluster, _ = _run_stream(plan)
+            return (cluster.sim.now, cluster.network.packets_dropped)
+
+        assert once(1) != once(2)
+
+    def test_empty_plan_matches_no_plan(self):
+        c_none, got_none = _run_stream(None, reliable=False)
+        c_empty, got_empty = _run_stream(FaultPlan(), reliable=False)
+        assert got_none == got_empty
+        assert c_none.sim.now == c_empty.sim.now
+        assert c_none.network.packets_sent == c_empty.network.packets_sent
+
+
+class TestCostAccounting:
+    def test_reliability_overhead_lands_in_net(self):
+        clean, _ = _run_stream(None, reliable=False)
+        reliable, _ = _run_stream(None, reliable=True)
+        # same messages delivered either way
+        assert (
+            reliable.aggregate_counters().get(CounterNames.MSG_SHORT)
+            == clean.aggregate_counters().get(CounterNames.MSG_SHORT)
+        )
+        # but the acks cost NET time and extra packets
+        assert reliable.aggregate_account().get(Category.NET) > clean.aggregate_account().get(
+            Category.NET
+        )
+        assert reliable.network.packets_sent > clean.network.packets_sent
+        assert reliable.aggregate_counters().get(CounterNames.PKT_ACK) > 0
+
+    def test_retransmissions_charge_net(self):
+        plan = FaultPlan(seed=13).drop("am.", rate=0.3)
+        faulty, _ = _run_stream(plan)
+        clean, _ = _run_stream(None, reliable=True)
+        assert faulty.aggregate_account().get(Category.NET) > clean.aggregate_account().get(
+            Category.NET
+        )
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            RetryPolicy(timeout_us=0.0).validate()
+        with pytest.raises(SimulationError):
+            RetryPolicy(backoff=0.5).validate()
+        with pytest.raises(SimulationError):
+            RetryPolicy(max_timeout_us=1.0, timeout_us=10.0).validate()
+        with pytest.raises(SimulationError):
+            RetryPolicy(max_retries=-1).validate()
+
+    def test_exhaustion_raises_with_channel_info(self):
+        cluster = Cluster(2, faults=FaultPlan().drop("am.", rate=1.0, dst=1))
+        eps = install_am(
+            cluster,
+            reliable=True,
+            retry=RetryPolicy(timeout_us=50.0, backoff=2.0, max_timeout_us=200.0, max_retries=3),
+        )
+        eps[1].register_handler("h", lambda *a: iter(()))
+
+        def sender(node):
+            yield from node.service("am").send_short(1, "h", nbytes=16)
+
+        cluster.launch(1, _poll_server(cluster.nodes[1]), daemon=True)
+        cluster.launch(0, sender(cluster.nodes[0]))
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            cluster.run()
+        err = excinfo.value
+        assert err.src == 0 and err.dst == 1
+        assert err.seq == 0 and err.retries == 3
+
+    def test_backoff_spaces_out_retransmissions(self):
+        cluster = Cluster(2, faults=FaultPlan().drop("am.", rate=1.0, dst=1))
+        install_am(
+            cluster,
+            reliable=True,
+            retry=RetryPolicy(timeout_us=100.0, backoff=2.0, max_timeout_us=1000.0, max_retries=3),
+        )
+
+        def sender(node):
+            yield from node.service("am").send_short(1, "h", nbytes=16)
+
+        cluster.launch(0, sender(cluster.nodes[0]))
+        with pytest.raises(RetryExhaustedError):
+            cluster.run()
+        # send ~t0, retx at +100, +200, +400, give up at +800: >= 700 total
+        assert cluster.sim.now >= 700.0
+
+
+class TestInstallGuards:
+    def test_double_install_raises(self):
+        from repro.errors import RuntimeStateError
+
+        cluster = Cluster(2)
+        install_am(cluster)
+        with pytest.raises(RuntimeStateError, match="messaging layer"):
+            install_am(cluster)
