@@ -2,132 +2,75 @@
 the library, as opposed to the virtual-time paper artifacts).
 
 Useful for tracking regressions in the engine/scheduler hot paths: the
-numbers are real seconds, and ``benchmark.extra_info`` records how many
-simulation events each scenario fired plus the engine's heap-bypass
-counters (``fastpath_stats``) so a perf change can be attributed to the
-fast path rather than to workload drift.
+numbers are real seconds, and ``benchmark.extra_info`` records the
+engine's heap-bypass counters (``fastpath_stats``) so a perf change can
+be attributed to the fast path rather than to workload drift.
+
+The workloads themselves live in :mod:`scenarios` — a shared registry so
+this suite and the CI regression checker (``smoke_check.py``) always
+measure the same code.  Committed minimums are in ``BENCH_simulator.json``.
 """
 
 import pytest
 
-from repro.experiments.microbench import run_cc_microbench, run_sc_microbench
-from repro.apps.em3d import Em3dGraph, Em3dParams, run_splitc_em3d
+from scenarios import SCENARIOS
+
+
+def _bench(benchmark, name):
+    stats = {}
+    result = benchmark(lambda: SCENARIOS[name](stats_out=stats))
+    benchmark.extra_info.update(stats)
+    return result, stats
 
 
 @pytest.mark.benchmark(group="simulator-throughput")
 def test_engine_event_throughput(benchmark):
-    """Raw engine: schedule/fire chains of dependent events."""
-    from repro.sim.engine import Simulator
-
-    stats = {}
-
-    def run():
-        sim = Simulator()
-        state = {"left": 20_000}
-
-        def tick():
-            if state["left"] > 0:
-                state["left"] -= 1
-                sim.schedule(1.0, tick)
-
-        sim.schedule(0.0, tick)
-        sim.run()
-        stats.update(sim.fastpath_stats())
-        return sim.events_fired
-
-    fired = benchmark(run)
-    benchmark.extra_info.update(stats)
+    fired, _ = _bench(benchmark, "engine_event_chain")
     assert fired == 20_001
 
 
 @pytest.mark.benchmark(group="simulator-throughput")
 def test_zero_delay_storm_throughput(benchmark):
-    """The zero-delay lane under pressure: cascades of same-instant
-    callbacks (the shape of dispatch kicks and message-arrival wakes)."""
-    from repro.sim.engine import Simulator
-
-    stats = {}
-
-    def run():
-        sim = Simulator()
-        state = {"left": 20_000}
-
-        def kick():
-            if state["left"] > 0:
-                state["left"] -= 1
-                sim.call_soon(kick)
-
-        sim.call_soon(kick)
-        sim.run()
-        stats.update(sim.fastpath_stats())
-        return sim.events_fired
-
-    fired = benchmark(run)
-    benchmark.extra_info.update(stats)
+    fired, stats = _bench(benchmark, "zero_delay_storm")
     assert fired == 20_001
     assert stats["immediate_fired"] == 20_001  # never touched the heap
 
 
 @pytest.mark.benchmark(group="simulator-throughput")
 def test_trampoline_charge_switch_rate(benchmark):
-    """Pure trampoline: long Charge/Switch chains, no network at all.
-
-    Two threads on one node alternate compute charges with voluntary
-    yields — the workload charge fusion exists for.  ``inline_advances``
-    in extra_info shows how many heap round-trips the fusion removed.
-    """
-    from repro.machine.cluster import Cluster
-    from repro.sim.account import Category
-    from repro.sim.effects import SWITCH, Charge
-
-    stats = {}
-
-    def body(n):
-        def gen(_node):
-            for _ in range(n):
-                yield Charge(1.5, Category.CPU)
-                yield Charge(0.5, Category.RUNTIME)
-                yield SWITCH
-
-        return gen
-
-    def run():
-        cluster = Cluster(1)
-        node = cluster.nodes[0]
-        cluster.launch(0, body(2_000)(node), "spin-a")
-        cluster.launch(0, body(2_000)(node), "spin-b")
-        cluster.run()
-        stats.update(cluster.sim.fastpath_stats())
-        return cluster.sim.events_fired
-
-    fired = benchmark(run)
-    benchmark.extra_info.update(stats)
+    fired, stats = _bench(benchmark, "trampoline_charge_switch")
     assert fired > 4_000
     assert stats["inline_advances"] > 0
 
 
 @pytest.mark.benchmark(group="simulator-throughput")
 def test_ccpp_rmi_simulation_rate(benchmark):
-    """Full CC++ RMI path, 100 warm round trips per call."""
-    stats = {}
-    row = benchmark(lambda: run_cc_microbench("0-Word", iters=100, stats_out=stats))
-    benchmark.extra_info.update(stats)
+    row, _ = _bench(benchmark, "ccpp_rmi_0word_100iters")
     assert row.total_us > 0
 
 
 @pytest.mark.benchmark(group="simulator-throughput")
 def test_splitc_read_simulation_rate(benchmark):
-    stats = {}
-    row = benchmark(lambda: run_sc_microbench("GP 2-Word R/W", iters=100, stats_out=stats))
-    benchmark.extra_info.update(stats)
+    row, _ = _bench(benchmark, "splitc_gp_rw_100iters")
     assert row.total_us > 0
 
 
 @pytest.mark.benchmark(group="simulator-throughput")
+def test_reliable_am_roundtrip_rate(benchmark):
+    rtt, _ = _bench(benchmark, "reliable_am_roundtrip")
+    assert rtt > 0
+
+
+@pytest.mark.benchmark(group="simulator-throughput")
+def test_bulk_payload_rate(benchmark):
+    reads, _ = _bench(benchmark, "bulk_payload")
+    assert reads == 30
+
+
+@pytest.mark.benchmark(group="simulator-throughput")
 def test_em3d_step_simulation_rate(benchmark):
-    graph = Em3dGraph(Em3dParams(n_nodes=160, degree=8, n_procs=4, pct_remote=1.0))
     res = benchmark.pedantic(
-        lambda: run_splitc_em3d(graph, steps=1, version="base", warmup_steps=0),
+        lambda: SCENARIOS["em3d_step_160nodes"](),
         rounds=1,
         iterations=1,
     )

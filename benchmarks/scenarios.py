@@ -1,0 +1,181 @@
+"""Named simulator-throughput scenarios.
+
+One callable per scenario, shared by two consumers so they can never
+drift apart:
+
+* ``bench_simulator.py`` wraps each in pytest-benchmark for the full
+  statistics (and ``extra_info`` attribution);
+* ``smoke_check.py`` times a min-over-repetitions of the same callables
+  and compares against the committed ``BENCH_simulator.json`` floors.
+
+Every scenario takes an optional ``stats_out`` dict that receives the
+engine's ``fastpath_stats()`` counters, and returns a value the caller
+can sanity-assert on (events fired, RTT µs, ...).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import Any
+
+import numpy as np
+
+__all__ = ["SCENARIOS", "scenario"]
+
+#: scenario name -> callable(stats_out=None) -> sanity value
+SCENARIOS: dict[str, Callable[..., Any]] = {}
+
+
+def scenario(name: str) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+    """Register a scenario under the name used in BENCH_simulator.json."""
+
+    def deco(fn: Callable[..., Any]) -> Callable[..., Any]:
+        SCENARIOS[name] = fn
+        return fn
+
+    return deco
+
+
+@scenario("engine_event_chain")
+def engine_event_chain(stats_out: dict | None = None) -> int:
+    """Raw engine: schedule/fire chains of dependent events."""
+    from repro.sim.engine import Simulator
+
+    sim = Simulator()
+    state = {"left": 20_000}
+
+    def tick():
+        if state["left"] > 0:
+            state["left"] -= 1
+            sim.schedule(1.0, tick)
+
+    sim.schedule(0.0, tick)
+    sim.run()
+    if stats_out is not None:
+        stats_out.update(sim.fastpath_stats())
+    return sim.events_fired
+
+
+@scenario("zero_delay_storm")
+def zero_delay_storm(stats_out: dict | None = None) -> int:
+    """The zero-delay lane under pressure: cascades of same-instant
+    callbacks (the shape of dispatch kicks and message-arrival wakes)."""
+    from repro.sim.engine import Simulator
+
+    sim = Simulator()
+    state = {"left": 20_000}
+
+    def kick():
+        if state["left"] > 0:
+            state["left"] -= 1
+            sim.call_soon(kick)
+
+    sim.call_soon(kick)
+    sim.run()
+    if stats_out is not None:
+        stats_out.update(sim.fastpath_stats())
+    return sim.events_fired
+
+
+@scenario("trampoline_charge_switch")
+def trampoline_charge_switch(stats_out: dict | None = None) -> int:
+    """Pure trampoline: long Charge/Switch chains, no network at all."""
+    from repro.machine.cluster import Cluster
+    from repro.sim.account import Category
+    from repro.sim.effects import SWITCH, Charge
+
+    def body(n):
+        def gen(_node):
+            for _ in range(n):
+                yield Charge(1.5, Category.CPU)
+                yield Charge(0.5, Category.RUNTIME)
+                yield SWITCH
+
+        return gen
+
+    cluster = Cluster(1)
+    node = cluster.nodes[0]
+    cluster.launch(0, body(2_000)(node), "spin-a")
+    cluster.launch(0, body(2_000)(node), "spin-b")
+    cluster.run()
+    if stats_out is not None:
+        stats_out.update(cluster.sim.fastpath_stats())
+    return cluster.sim.events_fired
+
+
+@scenario("ccpp_rmi_0word_100iters")
+def ccpp_rmi_0word(stats_out: dict | None = None) -> Any:
+    """Full CC++ RMI path, 100 warm null round trips."""
+    from repro.experiments.microbench import run_cc_microbench
+
+    return run_cc_microbench("0-Word", iters=100, stats_out=stats_out)
+
+
+@scenario("splitc_gp_rw_100iters")
+def splitc_gp_rw(stats_out: dict | None = None) -> Any:
+    """Split-C global-pointer read/write pair, 100 warm iterations."""
+    from repro.experiments.microbench import run_sc_microbench
+
+    return run_sc_microbench("GP 2-Word R/W", iters=100, stats_out=stats_out)
+
+
+_EM3D_GRAPH = None
+
+
+@scenario("em3d_step_160nodes")
+def em3d_step(stats_out: dict | None = None) -> Any:
+    """One EM3D step on a 160-node graph: the application-scale workload.
+
+    The graph (shared immutable structure) is built once and reused, as
+    the historical benchmark did — the scenario times the simulated run."""
+    from repro.apps.em3d import Em3dGraph, Em3dParams, run_splitc_em3d
+
+    global _EM3D_GRAPH
+    if _EM3D_GRAPH is None:
+        _EM3D_GRAPH = Em3dGraph(
+            Em3dParams(n_nodes=160, degree=8, n_procs=4, pct_remote=1.0)
+        )
+    return run_splitc_em3d(_EM3D_GRAPH, steps=1, version="base", warmup_steps=0)
+
+
+@scenario("reliable_am_roundtrip")
+def reliable_am_roundtrip(stats_out: dict | None = None) -> float:
+    """Bare-AM ping-pong with the reliable-delivery sublayer on (seq
+    stamping, acks, retransmit timers) over a clean fabric — the cost of
+    reliability bookkeeping on the hot path."""
+    from repro.experiments.microbench import am_base_rtt
+
+    return am_base_rtt(iters=100, reliable=True, stats_out=stats_out)
+
+
+@scenario("bulk_payload")
+def bulk_payload(stats_out: dict | None = None) -> int:
+    """Bulk-transfer hot loop: 30 iterations of a 4096-float64
+    bulk_write + bulk_read pair between two Split-C nodes — exercises the
+    pooled one-copy payload path end to end."""
+    from repro.machine.cluster import Cluster
+    from repro.splitc import SplitCRuntime
+
+    n = 4096
+    iters = 30
+    cluster = Cluster(2)
+    rt = SplitCRuntime(cluster)
+    for nid in range(2):
+        rt.memory(nid).alloc("bulk.X", n)
+    values = np.arange(n, dtype=np.float64)
+    done = {"reads": 0}
+
+    def program(proc):
+        if proc.my_node == 0:
+            remote = proc.gptr(1, "bulk.X")
+            for _ in range(iters):
+                yield from proc.bulk_write(remote, values)
+                back = yield from proc.bulk_read(remote, n)
+                assert back.shape == (n,)
+                done["reads"] += 1
+        yield from proc.barrier()
+
+    rt.run_spmd(program, name="bulk-payload")
+    if stats_out is not None:
+        stats_out.update(cluster.sim.fastpath_stats())
+    return done["reads"]

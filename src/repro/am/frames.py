@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 __all__ = ["AMFrame", "SHORT_HEADER_BYTES", "BULK_HEADER_BYTES"]
@@ -19,14 +19,19 @@ class AMFrame:
 
     ``args`` are the short-word arguments of the classic AM interface
     (register-sized values, free-form Python values here); ``data`` is the
-    marshalled byte payload for messages that carry one.
+    marshalled byte payload for messages that carry one — ``bytes`` or a
+    zero-copy ``memoryview`` of a sender-side pooled buffer.
     """
 
     handler: str
     args: tuple[Any, ...] = ()
-    data: bytes = b""
+    data: bytes | bytearray | memoryview = b""
 
     def payload_bytes(self) -> int:
         """Conservative wire size of the variable part: 8 bytes per short
         argument word plus the byte payload."""
-        return 8 * len(self.args) + len(self.data)
+        d = self.data
+        # len() of a multi-dimensional memoryview counts the first axis,
+        # not bytes — the wire carries nbytes, so size by nbytes for views
+        n = d.nbytes if type(d) is memoryview else len(d)
+        return 8 * len(self.args) + n

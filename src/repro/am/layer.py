@@ -147,6 +147,28 @@ class AMEndpoint:
         self._recv_next: dict[int, int] = {}
         #: out-of-order packets held back per source: seq -> packet
         self._recv_buffer: dict[int, dict[int, Packet]] = {}
+        # Precomputed Charge effects for the per-message fixed costs.
+        # Charge is immutable and the trampoline only reads it, so one
+        # instance per cost point serves every message on this node.
+        net = node.costs.net
+        irq = net.interrupt_cpu if reception == "interrupt" else 0.0
+        self._chg_send_short = Charge(net.short_send_cpu, Category.NET)
+        self._chg_send_bulk = Charge(
+            net.short_send_cpu + net.bulk_setup_cpu, Category.NET
+        )
+        self._chg_poll_empty = Charge(net.poll_empty_cpu, Category.NET)
+        self._chg_hit_credit = Charge(net.poll_hit_cpu, Category.NET)
+        self._chg_hit_short = Charge(
+            net.poll_hit_cpu + net.short_recv_cpu + irq, Category.NET
+        )
+        self._chg_hit_bulk = Charge(
+            net.poll_hit_cpu + net.bulk_recv_cpu + irq, Category.NET
+        )
+        # hoisted per-send constants (the send path runs per message)
+        self._short_max = net.short_max_bytes
+        self._window = net.credit_window
+        self._half_window = net.credit_window // 2
+        self._polling = reception == "polling"
         node.attach(self.SERVICE, self)
         # exclusive claim on the node's inbox: exactly one messaging layer
         node.attach("msg-layer", self)
@@ -171,7 +193,7 @@ class AMEndpoint:
         dst: int,
         handler: str,
         args: tuple[Any, ...] = (),
-        data: bytes = b"",
+        data: bytes | bytearray | memoryview = b"",
         *,
         nbytes: int | None = None,
     ) -> Generator[Any, Any, None]:
@@ -179,24 +201,37 @@ class AMEndpoint:
         distinguish at this layer).  Polls own inbox afterwards."""
         frame = AMFrame(handler, args, data)
         size = nbytes if nbytes is not None else SHORT_HEADER_BYTES + frame.payload_bytes()
-        if size > self.node.costs.net.short_max_bytes:
+        if size > self._short_max:
             raise RuntimeStateError(
                 f"short AM of {size} bytes exceeds the "
-                f"{self.node.costs.net.short_max_bytes}-byte short frame; "
+                f"{self._short_max}-byte short frame; "
                 "use send_bulk for large payloads"
             )
-        yield from self._acquire_credit(dst)
-        self.node.counters.inc(CounterNames.MSG_SHORT)
-        yield Charge(self.node.costs.net.short_send_cpu, Category.NET)
+        # inlined _acquire_credit fast path: one dict probe per warm send
+        node = self.node
+        in_handler = self._in_handler
+        if dst != node.nid and not in_handler:
+            credits = self._credits
+            c = credits.get(dst)
+            if c is None:
+                c = self._window
+            if c > 0:
+                credits[dst] = c - 1
+            else:
+                yield from self._acquire_credit(dst)
+        node.counters.counts[CounterNames.MSG_SHORT] += 1
+        yield self._chg_send_short
         self._inject(dst, KIND_SHORT, frame, size)
-        yield from self._poll_on_send()
+        # inlined _poll_on_send (poll-on-send reception discipline)
+        if self._polling and not in_handler:
+            yield from self.poll()
 
     def send_bulk(
         self,
         dst: int,
         handler: str,
         args: tuple[Any, ...] = (),
-        data: bytes = b"",
+        data: bytes | bytearray | memoryview = b"",
         *,
         nbytes: int | None = None,
     ) -> Generator[Any, Any, None]:
@@ -204,12 +239,22 @@ class AMEndpoint:
         full payload has landed."""
         frame = AMFrame(handler, args, data)
         size = nbytes if nbytes is not None else BULK_HEADER_BYTES + frame.payload_bytes()
-        yield from self._acquire_credit(dst)
-        self.node.counters.inc(CounterNames.MSG_BULK)
-        net = self.node.costs.net
-        yield Charge(net.short_send_cpu + net.bulk_setup_cpu, Category.NET)
+        node = self.node
+        in_handler = self._in_handler
+        if dst != node.nid and not in_handler:
+            credits = self._credits
+            c = credits.get(dst)
+            if c is None:
+                c = self._window
+            if c > 0:
+                credits[dst] = c - 1
+            else:
+                yield from self._acquire_credit(dst)
+        node.counters.counts[CounterNames.MSG_BULK] += 1
+        yield self._chg_send_bulk
         self._inject(dst, KIND_BULK, frame, size, bulk=True)
-        yield from self._poll_on_send()
+        if self._polling and not in_handler:
+            yield from self.poll()
 
     def _inject(
         self, dst: int, kind: str, payload: Any, nbytes: int, *, bulk: bool = False
@@ -255,7 +300,7 @@ class AMEndpoint:
         refill_to = [src for src, n in self._consumed.items() if n >= half]
         for src in refill_to:
             self._consumed[src] -= half
-            yield Charge(self.node.costs.net.short_send_cpu, Category.NET)
+            yield self._chg_send_short
             self._inject(src, KIND_CREDIT, half, _CREDIT_BYTES)
 
     def _poll_on_send(self) -> Generator[Any, Any, None]:
@@ -399,30 +444,30 @@ class AMEndpoint:
         that finds nothing costs ``poll_empty_cpu``.
         """
         node = self.node
-        node.counters.inc(CounterNames.POLLS)
+        node.counters.counts[CounterNames.POLLS] += 1
         if self._in_handler:
             return 0
-        net = node.costs.net
-        if not node.inbox:
-            yield Charge(net.poll_empty_cpu, Category.NET)
+        inbox = node.inbox
+        if not inbox:
+            yield self._chg_poll_empty
             return 0
         handled = 0
-        while node.inbox:
-            pkt = node.inbox.popleft()
+        consumed = self._consumed
+        handlers = self._handlers
+        while inbox:
+            pkt = inbox.popleft()
             if pkt.kind == KIND_CREDIT:
-                yield Charge(net.poll_hit_cpu, Category.NET)
+                yield self._chg_hit_credit
                 self._credits[pkt.src] = (
-                    self._credits.get(pkt.src, net.credit_window) + pkt.payload
+                    self._credits.get(pkt.src, node.costs.net.credit_window)
+                    + pkt.payload
                 )
                 continue
-            recv_cpu = net.bulk_recv_cpu if pkt.kind == KIND_BULK else net.short_recv_cpu
-            if self.reception == "interrupt":
-                recv_cpu += net.interrupt_cpu
-            yield Charge(net.poll_hit_cpu + recv_cpu, Category.NET)
-            self._consumed[pkt.src] = self._consumed.get(pkt.src, 0) + 1
+            yield self._chg_hit_bulk if pkt.kind == KIND_BULK else self._chg_hit_short
+            consumed[pkt.src] = consumed.get(pkt.src, 0) + 1
             frame: AMFrame = pkt.payload
             try:
-                fn = self._handlers[frame.handler]
+                fn = handlers[frame.handler]
             except KeyError:
                 raise SimulationError(
                     f"node {node.nid}: no AM handler {frame.handler!r} "
@@ -434,7 +479,13 @@ class AMEndpoint:
             finally:
                 self._in_handler = False
             handled += 1
-        yield from self._refill_credits()
+        # delegate to the refill generator only when a source actually
+        # crossed the half-window (the common poll sends no refill)
+        half = self._half_window
+        for n in consumed.values():
+            if n >= half:
+                yield from self._refill_credits()
+                break
         if handled and node.scheduler is not None:
             # Let every thread blocked on inbox activity recheck its
             # predicate — handlers may have completed their operations.
@@ -454,8 +505,13 @@ class AMEndpoint:
         variant): the waiting thread does NOT context-switch; gaps with no
         mail are idle time on the node.
         """
+        # wait_and_poll inlined: a spin iteration must not pay an extra
+        # generator frame on top of the poll itself
+        node = self.node
         while not pred():
-            yield from self.wait_and_poll()
+            if not node.has_mail:
+                yield WAIT_INBOX
+            yield from self.poll()
 
     # ------------------------------------------------------------ diagnostics
 

@@ -106,6 +106,12 @@ class Em3dGraph:
         #: both start from this state)
         self.initial = np.asarray(rng.uniform(-1.0, 1.0, p.n_nodes))
 
+        # per-proc value counts, memoized: value_slot() sits on the layout
+        # construction hot path and must not rescan the node list per call
+        self._proc_counts: dict[int, int] = {}
+        for n in self.nodes:
+            self._proc_counts[n.proc] = self._proc_counts.get(n.proc, 0) + 1
+
     # -------------------------------------------------------------- geometry
 
     @property
@@ -129,7 +135,7 @@ class Em3dGraph:
 
     def local_value_count(self, proc: int) -> int:
         """Elements of the per-processor value region (E then H halves)."""
-        return sum(1 for n in self.nodes if n.proc == proc)
+        return self._proc_counts.get(proc, 0)
 
     def value_slot(self, gid: int) -> tuple[int, int]:
         """global id -> (proc, offset in the per-proc value region).

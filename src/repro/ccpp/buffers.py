@@ -68,28 +68,39 @@ class BufferManager:
             raise RuntimeStateError(f"R-buffer capacity {capacity} out of range")
         key = (method, sender)
         if key in self._by_key:
-            # re-resolution after a payload-size change: replace the buffer
-            self._rbufs.pop(self._by_key.pop(key))
+            # re-resolution (e.g. overlapping cold invocations before the
+            # stub update lands): keep the attached buffer and its id —
+            # a stub update already in flight may advertise the old id,
+            # and a warm deposit through it must still resolve
+            rbuf = self._rbufs[self._by_key[key]]
+            if capacity > rbuf.capacity:
+                rbuf.capacity = capacity
+            return rbuf
         rbuf = RBuffer(self._next_id, method, sender, capacity)
         self._next_id += 1
         self._rbufs[rbuf.rbuf_id] = rbuf
         self._by_key[key] = rbuf.rbuf_id
         return rbuf
 
-    def deposit(self, rbuf_id: int, payload: bytes) -> RBuffer:
-        """Warm path: the sender-managed deposit into a persistent buffer."""
+    def deposit(self, rbuf_id: int, payload: bytes | bytearray | memoryview) -> RBuffer:
+        """Warm path: the sender-managed deposit into a persistent buffer.
+
+        ``payload`` may be a zero-copy ``memoryview`` of the sender's
+        pooled marshalling buffer; the one slice-assignment below is the
+        single payload copy of the warm path."""
         try:
             rbuf = self._rbufs[rbuf_id]
         except KeyError:
             raise RuntimeStateError(
                 f"node {self.node.nid}: deposit into unknown R-buffer {rbuf_id}"
             ) from None
-        if len(payload) > STATIC_AREA_BYTES:
+        n = len(payload)
+        if n > STATIC_AREA_BYTES:
             raise RuntimeStateError("R-buffer overflow")
-        if len(payload) > rbuf.capacity:
+        if n > rbuf.capacity:
             # the managing sender grows its buffer when the method's
             # argument footprint grows
-            rbuf.capacity = len(payload)
+            rbuf.capacity = n
         rbuf.data[:] = payload
         rbuf.uses += 1
         return rbuf

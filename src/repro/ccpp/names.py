@@ -3,6 +3,10 @@
 The stub cache is indexed by (processor number, method-name hash).  The
 hash must be stable across nodes and runs (Python's builtin ``hash`` is
 salted per process, so it is *not* usable): FNV-1a over the UTF-8 name.
+
+Both the hash and the canonical-name join are memoized: the same few
+method names recur on every warm RMI, and the stub cache probes by hash
+on each one.
 """
 
 from __future__ import annotations
@@ -12,13 +16,19 @@ __all__ = ["method_hash", "MethodName"]
 _FNV_OFFSET = 0xCBF29CE484222325
 _FNV_PRIME = 0x100000001B3
 
+_hash_memo: dict[str, int] = {}
+
 
 def method_hash(name: str) -> int:
     """Deterministic 64-bit FNV-1a hash of a method name."""
+    h = _hash_memo.get(name)
+    if h is not None:
+        return h
     h = _FNV_OFFSET
     for byte in name.encode("utf-8"):
         h ^= byte
         h = (h * _FNV_PRIME) & 0xFFFFFFFFFFFFFFFF
+    _hash_memo[name] = h
     return h
 
 
@@ -26,6 +36,13 @@ class MethodName:
     """Canonical 'Class::method' naming, as the front-end translator
     would emit."""
 
+    _memo: dict[tuple[str, str], str] = {}
+
     @staticmethod
     def of(cls_name: str, method: str) -> str:
-        return f"{cls_name}::{method}"
+        key = (cls_name, method)
+        name = MethodName._memo.get(key)
+        if name is None:
+            name = f"{cls_name}::{method}"
+            MethodName._memo[key] = name
+        return name

@@ -38,8 +38,15 @@ from repro.am import AMEndpoint, AMFrame
 from repro.am.frames import BULK_HEADER_BYTES, SHORT_HEADER_BYTES
 from repro.ccpp.gp import DataGlobalPtr, ObjectGlobalPtr
 from repro.ccpp.names import MethodName
+from repro.ccpp.stubs import CacheEntry
 from repro.errors import RemoteInvocationError, RuntimeStateError
-from repro.marshal import marshal_args, unmarshal_args
+from repro.marshal import (
+    Marshallable,
+    Packer,
+    marshal_args,
+    pack_fn_for,
+    unmarshal_args,
+)
 from repro.sim.account import Category, CounterNames
 from repro.sim.effects import Charge
 from repro.threads.api import spawn
@@ -60,6 +67,30 @@ _GP_VAL_BYTES = 16
 _SHORT_PAYLOAD_LIMIT = 16
 
 
+def _build_marshal_plan(rc: Any, types: tuple[type, ...]) -> tuple[float, tuple]:
+    """Classify an argument-type tuple for :meth:`RMIEngine._marshal_charge`.
+
+    Returns ``(fixed_us, simple_spec)``: the fixed portion of the charge
+    (accumulated in argument order, matching the pre-plan isinstance
+    chain add-for-add) and, for each simple-array argument, its index and
+    whether its byte count comes from ``.nbytes`` (ndarray) or ``len``.
+    """
+    fixed = rc.marshal_fixed
+    simple: list[tuple[int, bool]] = []
+    for i, tp in enumerate(types):
+        if issubclass(tp, np.ndarray):
+            fixed += rc.marshal_simple_array_fixed
+            simple.append((i, True))
+        elif issubclass(tp, (bytes, bytearray)):
+            fixed += rc.marshal_simple_array_fixed
+            simple.append((i, False))
+        elif issubclass(tp, (Marshallable, list, tuple, dict)):
+            fixed += rc.marshal_array_fixed
+        else:
+            fixed += rc.marshal_per_arg
+    return fixed, tuple(simple)
+
+
 class WaitMode(enum.Enum):
     """How the initiating thread waits for the reply."""
 
@@ -74,11 +105,44 @@ class RMIBox:
     mode: WaitMode
     done: bool = False
     status: str = "ok"
-    payload: bytes = b""
+    payload: bytes | bytearray | memoryview = b""
     value: Any = None          # for the GP fast path (no marshalling)
     via_bulk: bool = False
     lock: Lock | None = None
     cond: Condition | None = None
+
+
+class _NodeCharges:
+    """Precomputed :class:`Charge` effects for the fixed per-call costs of
+    one node.  Charge is immutable; one instance per cost point serves
+    every RMI on the node, keeping the warm path allocation-free."""
+
+    __slots__ = (
+        "stub_lookup", "reply_handling", "rmi_dispatch", "name_resolve",
+        "stub_install", "gp_local", "gp_read_req", "gp_write_req",
+        "gp_read_reply", "gp_thread",
+    )
+
+    def __init__(self, rc: Any):
+        R = Category.RUNTIME
+        self.stub_lookup = Charge(rc.stub_lookup, R)
+        self.reply_handling = Charge(rc.reply_handling, R)
+        self.rmi_dispatch = Charge(rc.rmi_dispatch, R)
+        self.name_resolve = Charge(rc.name_resolve, R)
+        self.stub_install = Charge(rc.stub_install, R)
+        self.gp_local = Charge(rc.gp_local_access, R)
+        self.gp_read_req = Charge(
+            rc.gp_remote_overhead + rc.marshal_fixed + 2 * rc.marshal_per_arg, R
+        )
+        self.gp_write_req = Charge(
+            rc.gp_remote_overhead + rc.marshal_fixed + 3 * rc.marshal_per_arg, R
+        )
+        self.gp_read_reply = Charge(
+            rc.reply_handling + rc.marshal_fixed + rc.marshal_per_arg, R
+        )
+        self.gp_thread = Charge(
+            rc.rmi_dispatch + rc.gp_remote_overhead + rc.gp_local_access, R
+        )
 
 
 @dataclass(slots=True)
@@ -89,6 +153,16 @@ class _NodeRMIState:
     next_slot: int = 0
     slot_lock: Lock | None = None
     comm_lock: Lock | None = None
+    #: precomputed fixed-cost Charge effects (see :class:`_NodeCharges`)
+    chgs: Any = None
+    #: marshal-charge plans keyed by argument-type tuple
+    mplans: dict = field(default_factory=dict)
+    #: Charge instances memoized by amount (bounded; see _marshal_charge)
+    chg_memo: dict = field(default_factory=dict)
+    #: the empty-argument-list marshal charge (the null-RMI fast path)
+    chg_marshal0: Any = None
+    #: recycled (Lock, Condition) pairs for PARK-mode reply boxes
+    box_pool: list = field(default_factory=list)
 
 
 class RMIEngine:
@@ -100,6 +174,7 @@ class RMIEngine:
             _NodeRMIState(
                 slot_lock=Lock(node, "rmi-slots"),
                 comm_lock=Lock(node, "comm-port"),
+                chgs=_NodeCharges(node.costs.runtime),
             )
             for node in rt.cluster.nodes
         ]
@@ -118,27 +193,40 @@ class RMIEngine:
         """Marshalling cost, dependent on argument *types* (§3): plain
         double/byte arrays take the compiler-inlined memcpy path; user
         classes and generic containers pay a full dynamic dispatch to
-        their serialization methods."""
-        from repro.marshal import Marshallable
+        their serialization methods.
 
+        The per-type classification is planned once per argument-type
+        tuple (same accumulation order as the original isinstance chain,
+        so the float sum is bit-identical), and Charge instances are
+        memoized by amount — a monomorphic call site charges without
+        allocating."""
+        st = self._state[node.nid]
+        types = tuple(map(type, args))
+        plan = st.mplans.get(types)
+        if plan is None:
+            plan = _build_marshal_plan(node.costs.runtime, types)
+            st.mplans[types] = plan
+        fixed_us, simple_spec = plan
         rc = node.costs.runtime
-        us = rc.marshal_fixed
+        us = fixed_us
         simple_bytes = 0
-        for a in args:
-            if isinstance(a, np.ndarray):
-                us += rc.marshal_simple_array_fixed
-                simple_bytes += a.nbytes
-            elif isinstance(a, (bytes, bytearray)):
-                us += rc.marshal_simple_array_fixed
-                simple_bytes += len(a)
-            elif isinstance(a, (Marshallable, list, tuple, dict)):
-                us += rc.marshal_array_fixed
-            else:
-                us += rc.marshal_per_arg
-        dynamic_bytes = max(0, nbytes - simple_bytes)
-        us += simple_bytes * rc.marshal_per_byte_simple
-        us += dynamic_bytes * rc.marshal_per_byte
-        return Charge(us, Category.RUNTIME)
+        for i, use_nbytes in simple_spec:
+            a = args[i]
+            simple_bytes += a.nbytes if use_nbytes else len(a)
+        dynamic_bytes = nbytes - simple_bytes
+        if dynamic_bytes < 0:
+            dynamic_bytes = 0
+        if simple_bytes:
+            us += simple_bytes * rc.marshal_per_byte_simple
+        if dynamic_bytes:
+            us += dynamic_bytes * rc.marshal_per_byte
+        memo = st.chg_memo
+        chg = memo.get(us)
+        if chg is None:
+            chg = Charge(us, Category.RUNTIME)
+            if len(memo) < 512:  # bounded: polymorphic storms can't leak
+                memo[us] = chg
+        return chg
 
     # ------------------------------------------------------------ slot table
 
@@ -150,9 +238,15 @@ class RMIEngine:
         st.next_slot += 1
         box = RMIBox(mode=mode)
         if mode is WaitMode.PARK:
-            node = self.rt.cluster.nodes[nid]
-            box.lock = Lock(node, f"rmi-box-{slot}")
-            box.cond = Condition(box.lock)
+            pool = st.box_pool
+            if pool:
+                # lock/cond pairs are recycled once a reply wait fully
+                # drains them (unowned, no waiters) — see invoke()
+                box.lock, box.cond = pool.pop()
+            else:
+                node = self.rt.cluster.nodes[nid]
+                box.lock = Lock(node, "rmi-box")
+                box.cond = Condition(box.lock)
         st.slots[slot] = box
         yield from st.slot_lock.release()
         return slot, box
@@ -195,13 +289,42 @@ class RMIEngine:
 
         # 1. stub cache probe, under the table lock
         yield from stubs.lock.acquire()
-        yield Charge(rc.stub_lookup, Category.RUNTIME)
+        yield st.chgs.stub_lookup
         entry = stubs.probe(gptr.node, name) if self.rt.stub_caching else None
         yield from stubs.lock.release()
 
-        # 2. marshal arguments into the S-buffer
-        payload, nargs = marshal_args(args)
-        yield self._marshal_charge(node, len(payload), args)
+        # 2. marshal arguments into the S-buffer (leased from the node's
+        # buffer pool; the payload travels as a zero-copy view of it)
+        pool = node.marshal_pool
+        if not args:
+            payload: Any = b""
+            nargs = 0
+        elif entry is not None:
+            # fused dispatch-cache path: a warm, monomorphic call reuses
+            # the pack functions resolved on the previous call through
+            # this stub entry — no per-argument table lookups
+            nargs = len(args)
+            types = tuple(map(type, args))
+            fast = entry.fast
+            if fast is not None and fast[0] == types:
+                fns = fast[1]
+            else:
+                fns = tuple(pack_fn_for(tp) for tp in types)
+                entry.fast = (types, fns)
+            p = Packer(pool.take())
+            p.put_u32(nargs)
+            for fn, a in zip(fns, args):
+                fn(p, a)
+            payload = p.getview()
+        else:
+            payload, nargs = marshal_args(args, pool=pool)
+        if args:
+            yield self._marshal_charge(node, len(payload), args)
+        else:
+            chg0 = st.chg_marshal0
+            if chg0 is None:
+                st.chg_marshal0 = chg0 = self._marshal_charge(node, 0, ())
+            yield chg0
 
         # 3. completion record
         slot, box = yield from self._new_box(node.nid, wait)
@@ -241,22 +364,29 @@ class RMIEngine:
 
         # 5. wait for the reply
         yield from self._await_box(ep, box)
+        if box.lock is not None:
+            # drained: completer signalled and released, waiter reacquired
+            # and released — nothing references the pair any more
+            st.box_pool.append((box.lock, box.cond))
 
         # 6. unpack the result
-        yield Charge(rc.reply_handling, Category.RUNTIME)
+        yield st.chgs.reply_handling
+        # the payload may be a zero-copy view that unmarshalling recycles;
+        # take its length first (len() on a released view raises)
+        plen = len(box.payload)
         if box.status != "ok":
-            (detail,) = unmarshal_args(box.payload)
+            (detail,) = unmarshal_args(box.payload, pool=pool)
             raise RemoteInvocationError(name, gptr.node, str(detail))
         if box.via_bulk:
             # static area -> R-buffer -> CC++ object: the double copy the
             # paper blames for BulkRead > BulkWrite (mostly fixed buffer
             # management, plus the actual memcpy per byte)
             yield Charge(
-                rc.bulk_reply_fixed + 2.0 * rc.copy_per_byte * len(box.payload),
+                rc.bulk_reply_fixed + 2.0 * rc.copy_per_byte * plen,
                 Category.RUNTIME,
             )
-        (result,) = unmarshal_args(box.payload)
-        yield self._marshal_charge(node, len(box.payload), (result,))
+        (result,) = unmarshal_args(box.payload, pool=pool)
+        yield self._marshal_charge(node, plen, (result,))
         return result
 
     def invoke_async(
@@ -278,11 +408,11 @@ class RMIEngine:
         stubs = self.rt.stub_tables[node.nid]
 
         yield from stubs.lock.acquire()
-        yield Charge(rc.stub_lookup, Category.RUNTIME)
+        yield st.chgs.stub_lookup
         entry = stubs.probe(gptr.node, name) if self.rt.stub_caching else None
         yield from stubs.lock.release()
 
-        payload, nargs = marshal_args(args)
+        payload, nargs = marshal_args(args, pool=node.marshal_pool)
         yield self._marshal_charge(node, len(payload), args)
 
         cold = entry is None
@@ -335,16 +465,17 @@ class RMIEngine:
     def _h_rmi(self, ep: AMEndpoint, src: int, frame: AMFrame):
         node = ep.node
         rc = node.costs.runtime
+        st = self._state[node.nid]
         slot, cold, key, obj_id, rbuf_id = frame.args
         payload = frame.data
-        yield Charge(rc.rmi_dispatch, Category.RUNTIME)
+        yield st.chgs.rmi_dispatch
 
         stubs = self.rt.stub_tables[node.nid]
         bufs = self.rt.buffer_managers[node.nid]
 
         if cold or not self.rt.stub_caching:
             # name-based resolution + stub-update back to the initiator
-            yield Charge(rc.name_resolve, Category.RUNTIME)
+            yield st.chgs.name_resolve
             stub = stubs.resolve_name(key)
             rbuf = None
             if payload:
@@ -396,12 +527,23 @@ class RMIEngine:
         else:
             yield from self._run_method(ep, src, slot, stub, obj, payload)
 
-    def _run_method(self, ep: AMEndpoint, src: int, slot: int, stub, obj, payload: bytes):
+    def _run_method(self, ep: AMEndpoint, src: int, slot: int, stub, obj, payload):
         node = ep.node
         rc = node.costs.runtime
 
-        args = unmarshal_args(payload) if payload else ()
-        yield self._marshal_charge(node, len(payload), args)
+        # length before unmarshalling: a zero-copy payload view is
+        # released and its buffer recycled by unmarshal_args
+        plen = len(payload)
+        if plen:
+            args = unmarshal_args(payload, pool=node.marshal_pool)
+            yield self._marshal_charge(node, plen, args)
+        else:
+            args = ()
+            st0 = self._state[node.nid]
+            chg0 = st0.chg_marshal0
+            if chg0 is None:
+                st0.chg_marshal0 = chg0 = self._marshal_charge(node, 0, ())
+            yield chg0
 
         method_name = stub.name.rsplit("::", 1)[-1]
         fn = getattr(obj, method_name, None)
@@ -426,7 +568,7 @@ class RMIEngine:
         if slot is None:
             return  # one-sided invocation: no reply expected
 
-        rpayload, _ = marshal_args((result,))
+        rpayload, _ = marshal_args((result,), pool=node.marshal_pool)
         yield self._marshal_charge(node, len(rpayload), (result,))
 
         st = self._state[node.nid]
@@ -461,13 +603,11 @@ class RMIEngine:
         yield from self._complete_box(ep, box)
 
     def _h_stub_update(self, ep: AMEndpoint, src: int, frame: AMFrame):
-        from repro.ccpp.stubs import CacheEntry
-
         remote_node, name, stub_id, rbuf_id = frame.args
         node = ep.node
         stubs = self.rt.stub_tables[node.nid]
         yield from stubs.lock.acquire()
-        yield Charge(node.costs.runtime.stub_install, Category.RUNTIME)
+        yield self._state[node.nid].chgs.stub_install
         stubs.install(remote_node, name, CacheEntry(stub_id=stub_id, rbuf_id=rbuf_id))
         yield from stubs.lock.release()
 
@@ -481,24 +621,22 @@ class RMIEngine:
         A local dereference still pays the CC++ global-pointer overhead —
         the cause of em3d-base's gap at low remote fractions."""
         node = ctx.node
-        rc = node.costs.runtime
-        if gp.node == node.nid:
-            yield Charge(rc.gp_local_access, Category.RUNTIME)
-            return ctx.mem.load_gp(gp.region, gp.offset)
-        yield Charge(rc.stub_lookup, Category.RUNTIME)
-        # value-semantics request build (2-word address + result slot)
-        yield Charge(rc.gp_remote_overhead + rc.marshal_fixed + 2 * rc.marshal_per_arg,
-                     Category.RUNTIME)
-        slot, box = yield from self._new_box(node.nid, wait)
         st = self._state[node.nid]
+        chgs = st.chgs
+        if gp.node == node.nid:
+            yield chgs.gp_local
+            return ctx.mem.load_gp(gp.region, gp.offset)
+        yield chgs.stub_lookup
+        # value-semantics request build (2-word address + result slot)
+        yield chgs.gp_read_req
+        slot, box = yield from self._new_box(node.nid, wait)
         yield from st.comm_lock.acquire()
         yield from ctx.ep.send_short(
             gp.node, "cc.gp_read", args=(slot, gp.region, gp.offset), nbytes=_GP_REQ_BYTES
         )
         yield from st.comm_lock.release()
         yield from self._await_box(ctx.ep, box)
-        yield Charge(rc.reply_handling + rc.marshal_fixed + rc.marshal_per_arg,
-                     Category.RUNTIME)
+        yield chgs.gp_read_reply
         return box.value
 
     def gp_write(
@@ -506,16 +644,15 @@ class RMIEngine:
     ) -> Generator[Any, Any, None]:
         """``*gpY = lx`` (Table 4 GP Write)."""
         node = ctx.node
-        rc = node.costs.runtime
+        st = self._state[node.nid]
+        chgs = st.chgs
         if gp.node == node.nid:
-            yield Charge(rc.gp_local_access, Category.RUNTIME)
+            yield chgs.gp_local
             ctx.mem.store_gp(gp.region, gp.offset, value)
             return
-        yield Charge(rc.stub_lookup, Category.RUNTIME)
-        yield Charge(rc.gp_remote_overhead + rc.marshal_fixed + 3 * rc.marshal_per_arg,
-                     Category.RUNTIME)
+        yield chgs.stub_lookup
+        yield chgs.gp_write_req
         slot, box = yield from self._new_box(node.nid, wait)
-        st = self._state[node.nid]
         yield from st.comm_lock.acquire()
         yield from ctx.ep.send_short(
             gp.node,
@@ -525,7 +662,7 @@ class RMIEngine:
         )
         yield from st.comm_lock.release()
         yield from self._await_box(ctx.ep, box)
-        yield Charge(rc.reply_handling, Category.RUNTIME)
+        yield chgs.reply_handling
 
     def _h_gp_read(self, ep: AMEndpoint, src: int, frame: AMFrame):
         slot, region, offset = frame.args
@@ -537,9 +674,7 @@ class RMIEngine:
 
     def _gp_read_thread(self, ep, src, slot, region, offset):
         node = ep.node
-        rc = node.costs.runtime
-        yield Charge(rc.rmi_dispatch + rc.gp_remote_overhead + rc.gp_local_access,
-                     Category.RUNTIME)
+        yield self._state[node.nid].chgs.gp_thread
         value = self.rt.cc_memory(node.nid).load_gp(region, offset)
         st = self._state[node.nid]
         yield from st.comm_lock.acquire()
@@ -553,9 +688,7 @@ class RMIEngine:
 
     def _gp_write_thread(self, ep, src, slot, region, offset, value):
         node = ep.node
-        rc = node.costs.runtime
-        yield Charge(rc.rmi_dispatch + rc.gp_remote_overhead + rc.gp_local_access,
-                     Category.RUNTIME)
+        yield self._state[node.nid].chgs.gp_thread
         self.rt.cc_memory(node.nid).store_gp(region, offset, value)
         st = self._state[node.nid]
         yield from st.comm_lock.acquire()

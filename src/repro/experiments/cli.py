@@ -32,11 +32,32 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--iters", type=int, default=50, help="micro-benchmark iterations")
     parser.add_argument(
+        "--scenario",
+        action="append",
+        metavar="NAME",
+        help="table4 only: measure just this micro-benchmark row (repeatable; "
+        "a Table 4 name like '0-Word', or 'am-rtt' / 'mpl-rtt' for the "
+        "raw-layer references)",
+    )
+    parser.add_argument(
         "--out",
         metavar="DIR",
         help="also write rendered artifacts (and CSVs) to this directory",
     )
     args = parser.parse_args(argv)
+
+    if args.scenario and args.artifact != "table4":
+        parser.error("--scenario only applies to the table4 artifact")
+    if args.scenario:
+        from repro.experiments.table4 import scenario_names
+
+        known = set(scenario_names())
+        unknown = [s for s in args.scenario if s not in known]
+        if unknown:
+            parser.error(
+                f"unknown scenario(s) {', '.join(unknown)}; "
+                f"choose from: {', '.join(scenario_names())}"
+            )
 
     if args.out:
         from repro.experiments.report import ARTIFACTS, write_all
@@ -70,7 +91,7 @@ def main(argv: list[str] | None = None) -> int:
         elif artifact == "table4":
             from repro.experiments import table4
 
-            print(table4.run(iters=args.iters).render())
+            print(table4.run(iters=args.iters, scenarios=args.scenario).render())
         elif artifact == "figure5":
             from repro.experiments import figure5
 

@@ -39,8 +39,10 @@ def table4_csv(result: Table4Result) -> str:
              f"{row.threads_us:.3f}", f"{row.runtime_us:.3f}",
              f"{row.yields:.3f}", f"{row.creates:.3f}", f"{row.syncs:.3f}"]
         )
-    w.writerow(["am_base_rtt", "-", f"{result.am_rtt_us:.3f}"] + [""] * 6)
-    w.writerow(["mpl_rtt", "-", f"{result.mpl_rtt_us:.3f}"] + [""] * 6)
+    if result.am_rtt_us is not None:
+        w.writerow(["am_base_rtt", "-", f"{result.am_rtt_us:.3f}"] + [""] * 6)
+    if result.mpl_rtt_us is not None:
+        w.writerow(["mpl_rtt", "-", f"{result.mpl_rtt_us:.3f}"] + [""] * 6)
     return out.getvalue()
 
 

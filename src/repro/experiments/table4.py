@@ -31,8 +31,8 @@ class Table4Result:
 
     cc: dict[str, MicroRow] = field(default_factory=dict)
     sc: dict[str, MicroRow] = field(default_factory=dict)
-    am_rtt_us: float = 0.0
-    mpl_rtt_us: float = 0.0
+    am_rtt_us: float | None = None
+    mpl_rtt_us: float | None = None
 
     def render(self) -> str:
         t = TextTable(
@@ -54,6 +54,8 @@ class Table4Result:
         for name, ref in paper.TABLE4.items():
             cc = self.cc.get(name)
             sc = self.sc.get(name)
+            if cc is None and sc is None and (self.cc or self.sc):
+                continue  # filtered out via run(scenarios=...)
             t.add_row(
                 [
                     name,
@@ -69,25 +71,58 @@ class Table4Result:
                     f"{ref.sc_total:.0f}" if ref.sc_total else "-",
                 ]
             )
-        t.add_separator()
-        t.add_row(
-            ["AM base RTT", f"{self.am_rtt_us:.1f}", f"{paper.AM_BASE_RTT_US:.0f}"]
-            + ["-"] * 8
-        )
-        t.add_row(
-            ["IBM MPL RTT", f"{self.mpl_rtt_us:.1f}", f"{paper.MPL_RTT_US:.0f}"]
-            + ["-"] * 8
-        )
+        if self.am_rtt_us is not None or self.mpl_rtt_us is not None:
+            t.add_separator()
+        if self.am_rtt_us is not None:
+            t.add_row(
+                ["AM base RTT", f"{self.am_rtt_us:.1f}", f"{paper.AM_BASE_RTT_US:.0f}"]
+                + ["-"] * 8
+            )
+        if self.mpl_rtt_us is not None:
+            t.add_row(
+                ["IBM MPL RTT", f"{self.mpl_rtt_us:.1f}", f"{paper.MPL_RTT_US:.0f}"]
+                + ["-"] * 8
+            )
         return t.render()
 
 
-def run(*, iters: int = 50) -> Table4Result:
-    """Regenerate Table 4."""
+#: names accepted by ``run(scenarios=...)`` beyond the Table 4 rows
+_EXTRA_SCENARIOS = ("am-rtt", "mpl-rtt")
+
+
+def scenario_names() -> tuple[str, ...]:
+    """Every name ``run(scenarios=...)`` accepts (for ``--scenario`` help)."""
+    return tuple(dict.fromkeys([*CC_BENCHMARKS, *SC_BENCHMARKS])) + _EXTRA_SCENARIOS
+
+
+def run(*, iters: int = 50, scenarios: list[str] | None = None) -> Table4Result:
+    """Regenerate Table 4.
+
+    With ``scenarios``, only the named rows are measured — a benchmark
+    name from the paper's Table 4 (e.g. ``0-Word``) runs its CC++ and/or
+    Split-C variant, and the pseudo-names ``am-rtt`` / ``mpl-rtt`` run the
+    raw-layer round-trip references.  Unknown names raise ``ValueError``.
+    """
+    if scenarios is not None:
+        known = set(scenario_names())
+        unknown = [s for s in scenarios if s not in known]
+        if unknown:
+            raise ValueError(
+                f"unknown scenario(s) {unknown}; choose from {sorted(known)}"
+            )
+        wanted = set(scenarios)
+    else:
+        wanted = None
+
     result = Table4Result()
     for name in CC_BENCHMARKS:
-        result.cc[name] = run_cc_microbench(name, iters=iters)
+        if wanted is None or name in wanted:
+            result.cc[name] = run_cc_microbench(name, iters=iters)
     for name in SC_BENCHMARKS:
-        result.sc[name] = run_sc_microbench(name, iters=iters)
-    result.am_rtt_us = am_base_rtt(iters=iters)
-    result.mpl_rtt_us = mpl_rtt(iters=iters)
+        if wanted is None or name in wanted:
+            result.sc[name] = run_sc_microbench(name, iters=iters)
+    if wanted is None or "am-rtt" in wanted:
+        result.am_rtt_us = am_base_rtt(iters=iters)
+    if wanted is None or "mpl-rtt" in wanted:
+        result.mpl_rtt_us = mpl_rtt(iters=iters)
     return result

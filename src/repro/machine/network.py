@@ -19,7 +19,7 @@ fabric — the golden-trace suite holds us to that.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any
 
 from repro.errors import SimulationError
@@ -124,20 +124,25 @@ class Network:
         Loopback (src == dst) is legal and still pays the wire: the paper's
         runtimes treat local AMs uniformly, and so do we.
         """
-        src = self.node(packet.src)
-        dst = self.node(packet.dst)
+        nodes = self._nodes
+        try:
+            src = nodes[packet.src]
+            dst = nodes[packet.dst]
+        except KeyError:
+            src = self.node(packet.src)  # re-raise with the diagnostic
+            dst = self.node(packet.dst)
         net_costs = src.costs.net
-        wire = (
-            net_costs.bulk_wire_time(packet.nbytes)
-            if bulk
-            else net_costs.short_wire_time(packet.nbytes)
+        # inlined short/bulk_wire_time: one transmit per simulated message
+        nbytes = packet.nbytes
+        wire = net_costs.wire_latency + nbytes * (
+            net_costs.per_byte_bulk if bulk else net_costs.per_byte
         )
         now = self.sim.now
         packet.send_time = now
         packet.arrival_time = now + wire
         self.packets_sent += 1
-        self.bytes_carried += packet.nbytes
-        src.counters.inc(CounterNames.BYTES_SENT, packet.nbytes)
+        self.bytes_carried += nbytes
+        src.counters.counts[CounterNames.BYTES_SENT] += nbytes
         if self._trace is not None:
             self._trace(now, packet.src, "send", packet.describe())
 
@@ -163,9 +168,18 @@ class Network:
                 # instant (engine tie-break keeps the order deterministic)
                 self.packets_duplicated += 1
                 src.counters.inc(CounterNames.PKT_DUPLICATED)
+                payload = packet.payload
+                # A payload frame may carry a zero-copy memoryview of a
+                # pooled marshalling buffer, which is recycled when the
+                # first copy is unmarshalled; snapshot the bytes so the
+                # surviving copy stays readable (without reliable AM both
+                # copies reach a handler).
+                data = getattr(payload, "data", None)
+                if type(data) is memoryview:
+                    payload = replace(payload, data=bytes(data))
                 copy = Packet(
                     src=packet.src, dst=packet.dst, kind=packet.kind,
-                    payload=packet.payload, nbytes=packet.nbytes,
+                    payload=payload, nbytes=packet.nbytes,
                     seq=packet.seq, ack=packet.ack, attempt=packet.attempt,
                 )
                 copy.send_time = now

@@ -19,7 +19,9 @@ from collections import deque
 from typing import TYPE_CHECKING, Any
 
 from repro.errors import SimulationError
+from repro.marshal.pool import BufferPool
 from repro.sim.account import Category, Counters, TimeAccount
+from repro.sim.effects import Charge
 from repro.sim.engine import Simulator
 from repro.sim.trace import NullTracer, Tracer
 
@@ -60,6 +62,11 @@ class Node:
         self.scheduler: "Scheduler | None" = None
         #: set by the runtimes (AM endpoint, Split-C memory, CC++ tables...)
         self.services: dict[str, Any] = {}
+        #: per-node freelist of marshalling buffers (persistent buffers)
+        self.marshal_pool = BufferPool()
+        #: the one Charge every sync op yields — Charge is immutable, so a
+        #: single instance serves every lock/signal/down on this node
+        self.sync_charge = Charge(costs.threads.sync_op, Category.THREAD_SYNC)
 
     # ------------------------------------------------------------- accounting
 

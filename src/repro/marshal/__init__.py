@@ -6,15 +6,19 @@ use (so unmarshalling bugs are actual bugs, not cost-model artifacts),
 plus size metadata the runtimes use to charge per-byte marshalling costs.
 
 * :mod:`repro.marshal.packer` — typed little-endian byte streams.
+* :mod:`repro.marshal.pool` — per-node freelists of marshalling buffers
+  (the paper's persistent buffers, applied to wall-clock allocations).
 * :mod:`repro.marshal.serialize` — tagged object serialization with a
   registry for user classes (the paper's "each object defines its own
   serialization methods").
 """
 
 from repro.marshal.packer import Packer, Unpacker
+from repro.marshal.pool import BufferPool
 from repro.marshal.serialize import (
     Marshallable,
     marshal_args,
+    pack_fn_for,
     pack_object,
     register_serializer,
     unmarshal_args,
@@ -24,9 +28,11 @@ from repro.marshal.serialize import (
 __all__ = [
     "Packer",
     "Unpacker",
+    "BufferPool",
     "Marshallable",
     "pack_object",
     "unpack_object",
+    "pack_fn_for",
     "marshal_args",
     "unmarshal_args",
     "register_serializer",

@@ -4,6 +4,13 @@ The wire format is deliberately dumb: fixed-width scalars, length-prefixed
 blobs.  :class:`Unpacker` validates every read against the remaining
 buffer so truncation surfaces as :class:`~repro.errors.MarshalError`, not
 a silent wrong answer.
+
+Zero-copy discipline: a :class:`Packer` can be constructed over a leased
+``bytearray`` from a :class:`~repro.marshal.pool.BufferPool` and exported
+as a ``memoryview`` (:meth:`Packer.getview`) instead of a ``bytes`` copy;
+an :class:`Unpacker` reads any buffer-protocol object in place (it no
+longer snapshots its input) and can :meth:`~Unpacker.detach` its internal
+view so the backing buffer becomes recyclable.
 """
 
 from __future__ import annotations
@@ -21,44 +28,50 @@ _U32 = struct.Struct("<I")
 _I64 = struct.Struct("<q")
 _F64 = struct.Struct("<d")
 
+_pack_u8 = _U8.pack
+_pack_u32 = _U32.pack
+_pack_i64 = _I64.pack
+_pack_f64 = _F64.pack
+
 
 class Packer:
-    """Append-only byte stream builder."""
+    """Append-only byte stream builder, optionally over a pooled buffer."""
 
     __slots__ = ("_buf",)
 
-    def __init__(self) -> None:
-        self._buf = bytearray()
+    def __init__(self, buf: bytearray | None = None) -> None:
+        self._buf = bytearray() if buf is None else buf
 
     # ------------------------------------------------------------- scalars
 
     def put_u8(self, v: int) -> "Packer":
         if not 0 <= v <= 0xFF:
             raise MarshalError(f"u8 out of range: {v}")
-        self._buf += _U8.pack(v)
+        self._buf += _pack_u8(v)
         return self
 
     def put_u32(self, v: int) -> "Packer":
         if not 0 <= v <= 0xFFFFFFFF:
             raise MarshalError(f"u32 out of range: {v}")
-        self._buf += _U32.pack(v)
+        self._buf += _pack_u32(v)
         return self
 
     def put_i64(self, v: int) -> "Packer":
         if not -(2**63) <= v < 2**63:
             raise MarshalError(f"i64 out of range: {v}")
-        self._buf += _I64.pack(v)
+        self._buf += _pack_i64(v)
         return self
 
     def put_f64(self, v: float) -> "Packer":
-        self._buf += _F64.pack(v)
+        self._buf += _pack_f64(v)
         return self
 
     # --------------------------------------------------------------- blobs
 
     def put_bytes(self, b: bytes | bytearray | memoryview) -> "Packer":
         """Length-prefixed raw bytes."""
-        self.put_u32(len(b))
+        n = b.nbytes if type(b) is memoryview else len(b)
+        self.put_u32(n)
         self._buf += b
         return self
 
@@ -66,12 +79,17 @@ class Packer:
         return self.put_bytes(s.encode("utf-8"))
 
     def put_ndarray(self, a: np.ndarray) -> "Packer":
-        """dtype + shape + C-order raw data."""
+        """dtype + shape + C-order raw data (copied once, into the stream)."""
         self.put_str(a.dtype.str)
         self.put_u8(a.ndim)
         for dim in a.shape:
             self.put_u32(dim)
-        self.put_bytes(np.ascontiguousarray(a).tobytes())
+        arr = np.ascontiguousarray(a)
+        if arr.ndim == 0 or arr.size == 0:
+            # 0-d and zero-size views cannot be cast to "B"
+            self.put_bytes(arr.tobytes())
+        else:
+            self.put_bytes(memoryview(arr).cast("B"))
         return self
 
     # ---------------------------------------------------------------- final
@@ -79,17 +97,30 @@ class Packer:
     def getvalue(self) -> bytes:
         return bytes(self._buf)
 
+    def getview(self) -> memoryview:
+        """Zero-copy export of the packed bytes.  The buffer must not be
+        resized (packed into) while the view is alive."""
+        return memoryview(self._buf)
+
     def __len__(self) -> int:
         return len(self._buf)
 
 
 class Unpacker:
-    """Sequential reader over bytes produced by :class:`Packer`."""
+    """Sequential reader over bytes produced by :class:`Packer`.
+
+    Reads happen in place over the given buffer — callers that need the
+    values to outlive the buffer get copies anyway (``get_bytes`` returns
+    ``bytes``, ``get_ndarray`` copies out of the wire view).
+    """
 
     __slots__ = ("_buf", "_pos")
 
     def __init__(self, data: bytes | bytearray | memoryview):
-        self._buf = memoryview(bytes(data))
+        # Always a fresh view — even over a memoryview input — so that
+        # detach() releases only *our* export, never the caller's payload
+        # view (which a BufferPool still needs to resolve via ``.obj``).
+        self._buf = memoryview(data)
         self._pos = 0
 
     def _take(self, n: int) -> memoryview:
@@ -105,7 +136,11 @@ class Unpacker:
     # ------------------------------------------------------------- scalars
 
     def get_u8(self) -> int:
-        return _U8.unpack(self._take(1))[0]
+        pos = self._pos
+        if pos >= len(self._buf):
+            raise MarshalError(f"buffer underrun: need 1 byte at offset {pos}, have 0")
+        self._pos = pos + 1
+        return self._buf[pos]
 
     def get_u32(self) -> int:
         return _U32.unpack(self._take(4))[0]
@@ -123,19 +158,22 @@ class Unpacker:
         return bytes(self._take(n))
 
     def get_str(self) -> str:
-        return self.get_bytes().decode("utf-8")
+        n = self.get_u32()
+        return str(self._take(n), "utf-8")
 
     def get_ndarray(self) -> np.ndarray:
         dtype = np.dtype(self.get_str())
         ndim = self.get_u8()
         shape = tuple(self.get_u32() for _ in range(ndim))
-        raw = self.get_bytes()
+        n = self.get_u32()
+        raw = self._take(n)
         expect = int(np.prod(shape)) * dtype.itemsize if shape else dtype.itemsize
-        if len(raw) != expect and shape:
+        if n != expect and shape:
             raise MarshalError(
-                f"ndarray payload is {len(raw)} bytes, expected {expect} "
+                f"ndarray payload is {n} bytes, expected {expect} "
                 f"for shape {shape} dtype {dtype}"
             )
+        # one copy, straight out of the wire view into the result array
         return np.frombuffer(raw, dtype=dtype).reshape(shape).copy()
 
     # ---------------------------------------------------------------- state
@@ -146,3 +184,8 @@ class Unpacker:
 
     def done(self) -> bool:
         return self._pos == len(self._buf)
+
+    def detach(self) -> None:
+        """Release the internal view so a pooled backing buffer can be
+        recycled.  The unpacker is unusable afterwards."""
+        self._buf.release()

@@ -1,0 +1,121 @@
+"""Pooled marshalling buffers (the paper's *persistent buffers*, wall-clock
+edition).
+
+ThAM's biggest single win over Nexus was never allocating a message buffer
+on the warm path; the Python analogue is a per-node freelist of
+``bytearray`` backing stores.  A sender *leases* a buffer, packs into it,
+and ships a ``memoryview`` of it as the payload; the receiver unmarshals
+straight out of the view and *recycles* the lease back into a pool, so
+steady-state traffic allocates nothing.
+
+Safety: a buffer is only reusable when nothing else can still read it.
+:meth:`BufferPool.give` probes for live buffer exports (a handler that
+kept its payload view alive) by attempting a resize — CPython refuses to
+resize a ``bytearray`` with exported views — and *abandons* the buffer
+instead of pooling it.  The straggler view therefore stays stable forever;
+the pool merely loses one reuse.  A property test pins this down.
+"""
+
+from __future__ import annotations
+
+__all__ = ["BufferPool"]
+
+
+class _LeasedBuffer(bytearray):
+    """A pool-owned ``bytearray`` that remembers its home pool.
+
+    Payloads cross nodes: the sender leases and packs, the *receiver*
+    unmarshals and recycles.  Routing the recycle to the buffer's origin
+    pool keeps every node's freelist warm under one-way traffic (a node
+    that only ever sends replies would otherwise allocate per message
+    while its peer's pool grows)."""
+
+    __slots__ = ("pool",)
+
+
+class BufferPool:
+    """Per-node freelist of marshalling ``bytearray`` buffers."""
+
+    __slots__ = ("_free", "max_buffers", "leases", "allocs", "reuses",
+                 "recycles", "abandoned")
+
+    def __init__(self, max_buffers: int = 64):
+        self._free: list[bytearray] = []
+        self.max_buffers = max_buffers
+        #: buffers handed out (allocs + reuses)
+        self.leases = 0
+        #: leases that had to allocate a fresh bytearray (cold)
+        self.allocs = 0
+        #: leases served from the freelist (warm — the steady state)
+        self.reuses = 0
+        #: buffers returned to the freelist
+        self.recycles = 0
+        #: buffers dropped at recycle time because a view was still live
+        self.abandoned = 0
+
+    def take(self) -> bytearray:
+        """Lease an empty buffer (freelist hit, else a fresh allocation)."""
+        self.leases += 1
+        free = self._free
+        if free:
+            self.reuses += 1
+            return free.pop()
+        self.allocs += 1
+        buf = _LeasedBuffer()
+        buf.pool = self
+        return buf
+
+    def take_packed(self, data) -> memoryview:
+        """Lease a buffer, append ``data``'s bytes (any C-contiguous
+        buffer-protocol object), and return a zero-copy view of it — the
+        one-copy send path for bulk blocks."""
+        buf = self.take()
+        # memoryview wrapper: plain `buf += ndarray` would hit numpy's
+        # elementwise __radd__ instead of the buffer-protocol append
+        buf += data if type(data) in (bytes, bytearray) else memoryview(data)
+        return memoryview(buf)
+
+    def give(self, buf: bytearray) -> None:
+        """Return a leased buffer.  Refused (abandoned) if any view of it
+        is still exported — reusing it would mutate bytes under a live
+        payload view."""
+        try:
+            # bytearray refuses any resize while a buffer is exported;
+            # clearing doubles as the reuse-readiness probe and the reset.
+            del buf[:]
+        except BufferError:
+            self.abandoned += 1
+            return
+        self.recycles += 1
+        if len(self._free) < self.max_buffers:
+            self._free.append(buf)
+
+    def recycle_view(self, view: memoryview) -> None:
+        """Release a payload ``memoryview`` and return its backing buffer
+        to the pool that leased it (which may be a peer node's — payloads
+        are packed on the sender and recycled on the receiver).
+
+        No-op for views over anything that is not a leased pool buffer
+        (e.g. a caller passed a view of its own ``bytes``)."""
+        buf = view.obj
+        view.release()
+        if type(buf) is _LeasedBuffer:
+            buf.pool.give(buf)
+
+    @property
+    def free_count(self) -> int:
+        return len(self._free)
+
+    def stats(self) -> dict[str, int]:
+        """Counter snapshot (benchmarks assert 'no steady-state allocs')."""
+        return {
+            "leases": self.leases,
+            "allocs": self.allocs,
+            "reuses": self.reuses,
+            "recycles": self.recycles,
+            "abandoned": self.abandoned,
+            "free": len(self._free),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<BufferPool free={len(self._free)} leases={self.leases} allocs={self.allocs}>"

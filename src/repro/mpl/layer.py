@@ -33,6 +33,10 @@ class MPLEndpoint:
         self.network = network
         #: (src, tag) -> queue of payloads, FIFO per matching key
         self._matched: dict[tuple[int, int], deque[Any]] = {}
+        # one immutable Charge per fixed cost point (see repro.am.layer)
+        net = node.costs.net
+        self._chg_send = Charge(net.mpl_send_cpu, Category.NET)
+        self._chg_recv = Charge(net.mpl_recv_cpu, Category.NET)
         node.attach(self.SERVICE, self)
         # exclusive claim on the node's inbox: exactly one messaging layer
         node.attach("msg-layer", self)
@@ -48,7 +52,7 @@ class MPLEndpoint:
             raise RuntimeStateError(f"negative MPL tag {tag}")
         size = nbytes if nbytes is not None else _HEADER_BYTES
         self.node.counters.inc(CounterNames.MSG_SHORT)
-        yield Charge(self.node.costs.net.mpl_send_cpu, Category.NET)
+        yield self._chg_send
         self.network.transmit(
             Packet(
                 src=self.node.nid,
@@ -81,7 +85,7 @@ class MPLEndpoint:
             self._drain_inbox()
             q = self._matched.get(key)
             if q:
-                yield Charge(self.node.costs.net.mpl_recv_cpu, Category.NET)
+                yield self._chg_recv
                 return q.popleft()
             yield WAIT_INBOX
 

@@ -39,18 +39,20 @@ class Charge(Effect):
     threads package is non-preemptive), but network deliveries still land
     in the node's inbox.
 
-    Not a dataclass, unlike its stateless siblings: one is allocated per
-    charged operation, so construction is kept to two slot stores
-    (validation happens where the charge is applied — negative amounts
-    raise in ``Node.charge`` / the scheduler trampoline).  Treat instances
-    as immutable.
+    Not a dataclass, unlike its stateless siblings: construction stays a
+    few slot stores (validation happens where the charge is applied —
+    negative amounts raise in ``Node.charge`` / the scheduler trampoline).
+    ``cidx`` pre-resolves ``category.index`` so the accounting hot loop
+    indexes the flat per-category array with one attribute load.  Treat
+    instances as immutable.
     """
 
-    __slots__ = ("us", "category")
+    __slots__ = ("us", "category", "cidx")
 
     def __init__(self, us: float, category: Category = Category.CPU):
         self.us = us
         self.category = category
+        self.cidx = category.index
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Charge(us={self.us!r}, category={self.category!r})"

@@ -56,6 +56,12 @@ class SCProcess:
         self.mem = runtime.memories[nid]
         self.ep = runtime.endpoints[nid]
         self._barrier_epoch = 0
+        # Charge is immutable: one instance per fixed per-op cost serves
+        # every access this process issues
+        rc = self.node.costs.runtime
+        self._chg_issue = Charge(rc.sc_issue, Category.RUNTIME)
+        self._chg_local = Charge(rc.sc_local_access, Category.RUNTIME)
+        self._chg_sync_check = Charge(rc.sc_sync_check, Category.RUNTIME)
 
     # -------------------------------------------------------------- geometry
 
@@ -86,11 +92,10 @@ class SCProcess:
 
     def read(self, gp: GlobalPtr) -> Generator[Any, Any, Any]:
         """``lx = *gp``: blocking global read."""
-        rt_costs = self.node.costs.runtime
         if gp.is_local(self.nid):
-            yield Charge(rt_costs.sc_local_access, Category.RUNTIME)
+            yield self._chg_local
             return self.mem.load(gp)
-        yield Charge(rt_costs.sc_issue, Category.RUNTIME)
+        yield self._chg_issue
         slot, box = self.rt.new_box(self.nid)
         yield from self.ep.send_short(
             gp.node, "sc.read", args=(gp.region, gp.offset, slot), nbytes=_READ_REQ_BYTES
@@ -100,12 +105,11 @@ class SCProcess:
 
     def write(self, gp: GlobalPtr, value: Any) -> Generator[Any, Any, None]:
         """``*gp = lx``: blocking global write (waits for the ack)."""
-        rt_costs = self.node.costs.runtime
         if gp.is_local(self.nid):
-            yield Charge(rt_costs.sc_local_access, Category.RUNTIME)
+            yield self._chg_local
             self.mem.store(gp, value)
             return
-        yield Charge(rt_costs.sc_issue, Category.RUNTIME)
+        yield self._chg_issue
         slot, box = self.rt.new_box(self.nid)
         yield from self.ep.send_short(
             gp.node,
@@ -122,12 +126,11 @@ class SCProcess:
         with :meth:`sync`."""
         if not dest.is_local(self.nid):
             raise GlobalPointerError(f"get destination {dest!r} is not local to node {self.nid}")
-        rt_costs = self.node.costs.runtime
         if src.is_local(self.nid):
-            yield Charge(rt_costs.sc_local_access, Category.RUNTIME)
+            yield self._chg_local
             self.mem.store(dest, self.mem.load(src))
             return
-        yield Charge(rt_costs.sc_issue, Category.RUNTIME)
+        yield self._chg_issue
         self.rt.state(self.nid).pending += 1
         yield from self.ep.send_short(
             src.node,
@@ -138,12 +141,11 @@ class SCProcess:
 
     def put(self, dest: GlobalPtr, value: Any) -> Generator[Any, Any, None]:
         """``*dest := lx``: split-phase write; complete with :meth:`sync`."""
-        rt_costs = self.node.costs.runtime
         if dest.is_local(self.nid):
-            yield Charge(rt_costs.sc_local_access, Category.RUNTIME)
+            yield self._chg_local
             self.mem.store(dest, value)
             return
-        yield Charge(rt_costs.sc_issue, Category.RUNTIME)
+        yield self._chg_issue
         self.rt.state(self.nid).pending += 1
         yield from self.ep.send_short(
             dest.node,
@@ -155,22 +157,21 @@ class SCProcess:
     def sync(self) -> Generator[Any, Any, None]:
         """Wait for every outstanding split-phase operation by this node."""
         st = self.rt.state(self.nid)
-        yield Charge(self.node.costs.runtime.sc_sync_check, Category.RUNTIME)
+        yield self._chg_sync_check
         yield from self.ep.poll_until(lambda: st.pending == 0)
 
     # ------------------------------------------------------------- one-way
 
     def store(self, dest: GlobalPtr, value: Any) -> Generator[Any, Any, None]:
         """``*dest :- lx``: one-way store; the *target* synchronizes."""
-        rt_costs = self.node.costs.runtime
         self.rt.state(self.nid).stores_sent += 1
         if dest.is_local(self.nid):
-            yield Charge(rt_costs.sc_local_access, Category.RUNTIME)
+            yield self._chg_local
             self.mem.store(dest, value)
             st = self.rt.state(self.nid)
             st.stores_received += 1
             return
-        yield Charge(rt_costs.sc_issue, Category.RUNTIME)
+        yield self._chg_issue
         yield from self.ep.send_short(
             dest.node,
             "sc.store",
@@ -182,16 +183,15 @@ class SCProcess:
         """One-way remote accumulate of a few contiguous elements
         (``*dest[k] += values[k]``); counts as one store at the target."""
         values = [float(v) for v in values]
-        rt_costs = self.node.costs.runtime
         self.rt.state(self.nid).stores_sent += 1
         if dest.is_local(self.nid):
-            yield Charge(rt_costs.sc_local_access, Category.RUNTIME)
+            yield self._chg_local
             arr = self.mem.region(dest.region)
             for k, v in enumerate(values):
                 arr[dest.offset + k] += v
             self.rt.state(self.nid).stores_received += 1
             return
-        yield Charge(rt_costs.sc_issue, Category.RUNTIME)
+        yield self._chg_issue
         yield from self.ep.send_short(
             dest.node,
             "sc.store_add",
@@ -202,19 +202,18 @@ class SCProcess:
     def bulk_store(self, dest: GlobalPtr, values: np.ndarray) -> Generator[Any, Any, None]:
         """One-way bulk store of a contiguous block."""
         values = np.asarray(values)
-        rt_costs = self.node.costs.runtime
         self.rt.state(self.nid).stores_sent += 1
         if dest.is_local(self.nid):
-            yield Charge(rt_costs.sc_local_access, Category.RUNTIME)
+            yield self._chg_local
             self.mem.store_block(dest, values)
             self.rt.state(self.nid).stores_received += 1
             return
-        yield Charge(rt_costs.sc_issue, Category.RUNTIME)
+        yield self._chg_issue
         yield from self.ep.send_bulk(
             dest.node,
             "sc.bulk_store",
             args=(dest.region, dest.offset, str(values.dtype)),
-            data=values.tobytes(),
+            data=self.node.marshal_pool.take_packed(np.ascontiguousarray(values)),
             nbytes=BULK_HEADER_BYTES + values.nbytes,
         )
 
@@ -222,20 +221,19 @@ class SCProcess:
         """One-way bulk accumulate of a contiguous block (counts as one
         store at the target) — how water-prefetch ships force blocks."""
         values = np.asarray(values, dtype=np.float64)
-        rt_costs = self.node.costs.runtime
         self.rt.state(self.nid).stores_sent += 1
         if dest.is_local(self.nid):
-            yield Charge(rt_costs.sc_local_access, Category.RUNTIME)
+            yield self._chg_local
             arr = self.mem.region(dest.region)
             arr[dest.offset : dest.offset + len(values)] += values
             self.rt.state(self.nid).stores_received += 1
             return
-        yield Charge(rt_costs.sc_issue, Category.RUNTIME)
+        yield self._chg_issue
         yield from self.ep.send_bulk(
             dest.node,
             "sc.bulk_store_add",
             args=(dest.region, dest.offset, str(values.dtype)),
-            data=values.tobytes(),
+            data=self.node.marshal_pool.take_packed(np.ascontiguousarray(values)),
             nbytes=BULK_HEADER_BYTES + values.nbytes,
         )
 
@@ -243,7 +241,7 @@ class SCProcess:
         """Block until ``n`` further stores have landed on this node."""
         st = self.rt.state(self.nid)
         target = st.stores_consumed + n
-        yield Charge(self.node.costs.runtime.sc_sync_check, Category.RUNTIME)
+        yield self._chg_sync_check
         yield from self.ep.poll_until(lambda: st.stores_received >= target)
         st.stores_consumed = target
 
@@ -251,11 +249,10 @@ class SCProcess:
 
     def bulk_read(self, src: GlobalPtr, count: int) -> Generator[Any, Any, np.ndarray]:
         """Blocking bulk read of ``count`` elements starting at ``src``."""
-        rt_costs = self.node.costs.runtime
         if src.is_local(self.nid):
-            yield Charge(rt_costs.sc_local_access, Category.RUNTIME)
+            yield self._chg_local
             return self.mem.load_block(src, count)
-        yield Charge(rt_costs.sc_issue, Category.RUNTIME)
+        yield self._chg_issue
         slot, box = self.rt.new_box(self.nid)
         yield from self.ep.send_short(
             src.node,
@@ -269,18 +266,17 @@ class SCProcess:
     def bulk_write(self, dest: GlobalPtr, values: np.ndarray) -> Generator[Any, Any, None]:
         """Blocking bulk write (waits for the ack)."""
         values = np.asarray(values)
-        rt_costs = self.node.costs.runtime
         if dest.is_local(self.nid):
-            yield Charge(rt_costs.sc_local_access, Category.RUNTIME)
+            yield self._chg_local
             self.mem.store_block(dest, values)
             return
-        yield Charge(rt_costs.sc_issue, Category.RUNTIME)
+        yield self._chg_issue
         slot, box = self.rt.new_box(self.nid)
         yield from self.ep.send_bulk(
             dest.node,
             "sc.bulk_write",
             args=(dest.region, dest.offset, str(values.dtype), slot),
-            data=values.tobytes(),
+            data=self.node.marshal_pool.take_packed(np.ascontiguousarray(values)),
             nbytes=BULK_HEADER_BYTES + values.nbytes,
         )
         yield from self.ep.poll_until(lambda: box.done)
@@ -291,7 +287,7 @@ class SCProcess:
         """Global SPMD barrier over all processors."""
         epoch = self._barrier_epoch
         self._barrier_epoch += 1
-        yield Charge(self.node.costs.runtime.sc_sync_check, Category.RUNTIME)
+        yield self._chg_sync_check
         if self.nid == 0:
             st0 = self.rt.state(0)
             st0.barrier_arrived += 1
@@ -314,12 +310,11 @@ class SCProcess:
         complete with :meth:`sync` (how sc-lu prefetches panel blocks)."""
         if not dest.is_local(self.nid):
             raise GlobalPointerError(f"bulk_get destination {dest!r} is not local")
-        rt_costs = self.node.costs.runtime
         if src.is_local(self.nid):
-            yield Charge(rt_costs.sc_local_access, Category.RUNTIME)
+            yield self._chg_local
             self.mem.store_block(dest, self.mem.load_block(src, count))
             return
-        yield Charge(rt_costs.sc_issue, Category.RUNTIME)
+        yield self._chg_issue
         self.rt.state(self.nid).pending += 1
         yield from self.ep.send_short(
             src.node,
@@ -333,8 +328,7 @@ class SCProcess:
     def atomic_rpc(self, node: int, name: str, *args: Any) -> Generator[Any, Any, Any]:
         """Split-C ``atomic(foo, ...)``: run a registered function on
         ``node`` and return its result (Table 4's 0-Word Atomic RPC row)."""
-        rt_costs = self.node.costs.runtime
-        yield Charge(rt_costs.sc_issue, Category.RUNTIME)
+        yield self._chg_issue
         slot, box = self.rt.new_box(self.nid)
         yield from self.ep.send_short(
             node, "sc.rpc", args=(name, args, slot), nbytes=_READ_REQ_BYTES + 8 * len(args)

@@ -105,6 +105,18 @@ class SplitCRuntime:
         #: registered atomic-RPC functions, shared by all nodes (same
         #: program image everywhere — the SPMD assumption)
         self._rpc_fns: dict[str, Callable[..., Any]] = {}
+        # Precomputed per-node Charge effects for the fixed handler costs
+        # (Charge is immutable; one instance serves every message), plus a
+        # bounded per-node memo for the byte-dependent bulk charges.
+        self._chg_reply: list[Charge] = [
+            Charge(n.costs.runtime.reply_handling, Category.RUNTIME)
+            for n in cluster.nodes
+        ]
+        self._chg_sync: list[Charge] = [
+            Charge(n.costs.runtime.sc_sync_check, Category.RUNTIME)
+            for n in cluster.nodes
+        ]
+        self._chg_memo: list[dict[float, Charge]] = [{} for _ in cluster.nodes]
 
     # ------------------------------------------------------------ structure
 
@@ -147,7 +159,21 @@ class SplitCRuntime:
     # whatever thread polled.  `ep.node` is the servicing node.
 
     def _rt_charge(self, ep: AMEndpoint, us: float):
-        return Charge(us, Category.RUNTIME)
+        memo = self._chg_memo[ep.node.nid]
+        chg = memo.get(us)
+        if chg is None:
+            chg = Charge(us, Category.RUNTIME)
+            if len(memo) < 256:  # bounded: varying payload sizes can't leak
+                memo[us] = chg
+        return chg
+
+    def _recycle_payload(self, ep: AMEndpoint, frame: AMFrame) -> None:
+        """Return a zero-copy bulk payload view to the buffer pool (no-op
+        for plain bytes).  The frame must not be touched afterwards."""
+        data = frame.data
+        if type(data) is memoryview:
+            frame.data = b""
+            ep.node.marshal_pool.recycle_view(data)
 
     def _h_read(self, ep: AMEndpoint, src: int, frame: AMFrame):
         region, offset, slot = frame.args
@@ -166,13 +192,13 @@ class SplitCRuntime:
         box = self._take_box(ep.node.nid, slot)
         box.value = value
         box.done = True
-        yield self._rt_charge(ep, ep.node.costs.runtime.reply_handling)
+        yield self._chg_reply[ep.node.nid]
 
     def _h_ack(self, ep: AMEndpoint, src: int, frame: AMFrame):
         (slot,) = frame.args
         box = self._take_box(ep.node.nid, slot)
         box.done = True
-        yield self._rt_charge(ep, ep.node.costs.runtime.reply_handling)
+        yield self._chg_reply[ep.node.nid]
 
     # split-phase -----------------------------------------------------------
 
@@ -191,7 +217,7 @@ class SplitCRuntime:
         nid = ep.node.nid
         self.memories[nid].store_gp(dest_region, dest_offset, value)
         self._state[nid].pending -= 1
-        yield self._rt_charge(ep, ep.node.costs.runtime.reply_handling)
+        yield self._chg_reply[ep.node.nid]
 
     def _h_put(self, ep: AMEndpoint, src: int, frame: AMFrame):
         region, offset, value = frame.args
@@ -200,7 +226,7 @@ class SplitCRuntime:
 
     def _h_put_ack(self, ep: AMEndpoint, src: int, frame: AMFrame):
         self._state[ep.node.nid].pending -= 1
-        yield self._rt_charge(ep, ep.node.costs.runtime.reply_handling)
+        yield self._chg_reply[ep.node.nid]
 
     def _h_store(self, ep: AMEndpoint, src: int, frame: AMFrame):
         region, offset, value = frame.args
@@ -208,7 +234,7 @@ class SplitCRuntime:
         self.memories[nid].store_gp(region, offset, value)
         self._state[nid].stores_received += 1
         # one-way: no reply
-        yield self._rt_charge(ep, ep.node.costs.runtime.reply_handling)
+        yield self._chg_reply[ep.node.nid]
 
     def _h_store_add(self, ep: AMEndpoint, src: int, frame: AMFrame):
         """One-way accumulate: ``*gp[k] += v[k]`` for a few values (a node
@@ -221,65 +247,79 @@ class SplitCRuntime:
         for k, v in enumerate(values):
             arr[offset + k] += v
         self._state[nid].stores_received += 1
-        yield self._rt_charge(ep, ep.node.costs.runtime.reply_handling)
+        yield self._chg_reply[ep.node.nid]
 
     # bulk ------------------------------------------------------------------
 
     def _h_bulk_read(self, ep: AMEndpoint, src: int, frame: AMFrame):
         region, offset, count, slot = frame.args
         block = self.memories[ep.node.nid].load_block_gp(region, offset, count)
+        # one copy: region slice -> pooled buffer; the view travels as-is
+        # and the requester recycles it after copying out
+        payload = ep.node.marshal_pool.take_packed(np.ascontiguousarray(block))
         yield from ep.send_bulk(
             src,
             "sc.bulk_data",
             args=(slot, str(block.dtype)),
-            data=block.tobytes(),
+            data=payload,
             nbytes=BULK_HEADER_BYTES + block.nbytes,
         )
 
     def _h_bulk_data(self, ep: AMEndpoint, src: int, frame: AMFrame):
         slot, dtype = frame.args
         box = self._take_box(ep.node.nid, slot)
+        n = len(frame.data)
         box.value = np.frombuffer(frame.data, dtype=dtype).copy()
         box.done = True
+        self._recycle_payload(ep, frame)
         rt = ep.node.costs.runtime
-        yield self._rt_charge(ep, rt.reply_handling + 0.01 * len(frame.data))
+        yield self._rt_charge(ep, rt.reply_handling + 0.01 * n)
 
     def _h_bulk_get(self, ep: AMEndpoint, src: int, frame: AMFrame):
         region, offset, count, dest_region, dest_offset = frame.args
         block = self.memories[ep.node.nid].load_block_gp(region, offset, count)
+        payload = ep.node.marshal_pool.take_packed(np.ascontiguousarray(block))
         yield from ep.send_bulk(
             src,
             "sc.bulk_get_reply",
             args=(dest_region, dest_offset, str(block.dtype)),
-            data=block.tobytes(),
+            data=payload,
             nbytes=BULK_HEADER_BYTES + block.nbytes,
         )
 
     def _h_bulk_get_reply(self, ep: AMEndpoint, src: int, frame: AMFrame):
         dest_region, dest_offset, dtype = frame.args
         nid = ep.node.nid
+        n = len(frame.data)
         values = np.frombuffer(frame.data, dtype=dtype)
         self.memories[nid].store_block_gp(dest_region, dest_offset, values)
         self._state[nid].pending -= 1
+        del values  # drop the buffer export so the pool can reuse it
+        self._recycle_payload(ep, frame)
         rt = ep.node.costs.runtime
-        yield self._rt_charge(ep, rt.reply_handling + 0.01 * len(frame.data))
+        yield self._rt_charge(ep, rt.reply_handling + 0.01 * n)
 
     def _h_bulk_write(self, ep: AMEndpoint, src: int, frame: AMFrame):
         region, offset, dtype, slot = frame.args
         values = np.frombuffer(frame.data, dtype=dtype)
         self.memories[ep.node.nid].store_block_gp(region, offset, values)
+        del values
+        self._recycle_payload(ep, frame)
         yield from ep.send_short(src, "sc.ack", args=(slot,), nbytes=_ACK_BYTES)
 
     def _h_bulk_store_add(self, ep: AMEndpoint, src: int, frame: AMFrame):
         """One-way bulk accumulate: ``region[off:off+n] += values``."""
         region, offset, dtype = frame.args
         nid = ep.node.nid
+        n = len(frame.data)
         values = np.frombuffer(frame.data, dtype=dtype)
         arr = self.memories[nid].region(region)
         arr[offset : offset + len(values)] += values
         self._state[nid].stores_received += 1
+        del values
+        self._recycle_payload(ep, frame)
         rt = ep.node.costs.runtime
-        yield self._rt_charge(ep, rt.reply_handling + 0.01 * len(frame.data))
+        yield self._rt_charge(ep, rt.reply_handling + 0.01 * n)
 
     def _h_bulk_store(self, ep: AMEndpoint, src: int, frame: AMFrame):
         region, offset, dtype = frame.args
@@ -287,7 +327,9 @@ class SplitCRuntime:
         values = np.frombuffer(frame.data, dtype=dtype)
         self.memories[nid].store_block_gp(region, offset, values)
         self._state[nid].stores_received += 1
-        yield self._rt_charge(ep, ep.node.costs.runtime.reply_handling)
+        del values
+        self._recycle_payload(ep, frame)
+        yield self._chg_reply[ep.node.nid]
 
     # atomic RPC ------------------------------------------------------------
     # Split-C's `atomic(foo, ...)`: run a registered function at the remote
@@ -347,7 +389,7 @@ class SplitCRuntime:
         (epoch,) = frame.args
         st = self._state[ep.node.nid]
         st.barrier_released = max(st.barrier_released, epoch + 1)
-        yield self._rt_charge(ep, ep.node.costs.runtime.sc_sync_check)
+        yield self._chg_sync[ep.node.nid]
 
     # --------------------------------------------------------------- running
 

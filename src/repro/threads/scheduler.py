@@ -252,7 +252,7 @@ class Scheduler:
                 us = effect.us
                 if us < 0:
                     raise ValueError(f"negative charge: {us} us to {effect.category}")
-                acct_us[effect.category.index] += us
+                acct_us[effect.cidx] += us
                 if us == 0.0:
                     continue
                 if advance_inline(us):

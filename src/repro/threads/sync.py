@@ -16,7 +16,7 @@ from collections.abc import Generator
 from typing import Any
 
 from repro.errors import RuntimeStateError
-from repro.sim.account import Category, CounterNames
+from repro.sim.account import CounterNames
 from repro.sim.effects import PARK, Charge
 from repro.threads.api import current_thread
 from repro.threads.thread import UThread
@@ -26,7 +26,8 @@ __all__ = ["Lock", "Condition", "Semaphore", "SyncCell"]
 
 def _sync_charge(node: Any) -> Charge:
     node.counters.inc(CounterNames.THREAD_SYNC_OP)
-    return Charge(node.costs.threads.sync_op, Category.THREAD_SYNC)
+    # Charge is immutable; every sync op on a node yields the same instance
+    return node.sync_charge
 
 
 class Lock:
@@ -50,15 +51,21 @@ class Lock:
 
     def acquire(self) -> Generator[Any, Any, None]:
         """Block until the lock is ours.  One sync op; contention parks."""
-        me = current_thread(self.node)
-        yield _sync_charge(self.node)
+        # inlined current_thread/_sync_charge: lock ops bracket every RMI
+        node = self.node
+        me = node.scheduler.current
+        if me is None:
+            me = current_thread(node)  # raises with the full diagnostic
+        counts = node.counters.counts
+        counts[CounterNames.THREAD_SYNC_OP] += 1
+        yield node.sync_charge
         if self._owner is None:
             self._owner = me
-            self.node.counters.inc(CounterNames.LOCK_UNCONTENDED)
+            counts[CounterNames.LOCK_UNCONTENDED] += 1
             return
         if self._owner is me:
             raise RuntimeStateError(f"{me.name} re-acquired non-reentrant {self.name}")
-        self.node.counters.inc(CounterNames.LOCK_CONTENDED)
+        counts[CounterNames.LOCK_CONTENDED] += 1
         self._waiters.append(me)
         yield PARK
         if self._owner is not me:  # pragma: no cover - invariant guard
@@ -66,13 +73,16 @@ class Lock:
 
     def release(self) -> Generator[Any, Any, None]:
         """Release; ownership is handed to the longest waiter, if any."""
-        me = current_thread(self.node)
-        if self._owner is not me:
+        node = self.node
+        me = node.scheduler.current
+        if self._owner is not me or me is None:
+            me = current_thread(node)
             raise RuntimeStateError(
                 f"{me.name} released {self.name} owned by "
                 f"{self._owner.name if self._owner else 'nobody'}"
             )
-        yield _sync_charge(self.node)
+        node.counters.counts[CounterNames.THREAD_SYNC_OP] += 1
+        yield node.sync_charge
         if self._waiters:
             heir = self._waiters.popleft()
             self._owner = heir
@@ -118,7 +128,9 @@ class Condition:
         Callers must re-check their predicate in a loop (Mesa semantics:
         another thread may run between the signal and the reacquire).
         """
-        me = current_thread(self.node)
+        me = self.node.scheduler.current
+        if me is None:
+            me = current_thread(self.node)  # raises with the full diagnostic
         if self.lock.owner is not me:
             raise RuntimeStateError(f"{me.name} waited on condition without the lock")
         self._waiters.append(me)
@@ -128,9 +140,11 @@ class Condition:
 
     def signal(self) -> Generator[Any, Any, None]:
         """Wake one waiter (one sync op)."""
-        yield _sync_charge(self.node)
+        node = self.node
+        node.counters.counts[CounterNames.THREAD_SYNC_OP] += 1
+        yield node.sync_charge
         if self._waiters:
-            self.node.scheduler.wake(self._waiters.popleft())
+            node.scheduler.wake(self._waiters.popleft())
 
     def broadcast(self) -> Generator[Any, Any, None]:
         """Wake every waiter (one sync op for the call)."""

@@ -68,6 +68,54 @@ class TestHandlers:
             with pytest.raises(RuntimeStateError, match="short frame"):
                 next(gen)
 
+    def test_short_limit_sizes_memoryview_payload_by_nbytes(self):
+        """The 64-byte short-frame guard must size zero-copy memoryview
+        payloads by ``nbytes``: ``len()`` of a multi-dimensional view
+        counts the first axis only and would let oversize frames through."""
+        import numpy as np
+
+        from repro.am.frames import AMFrame
+
+        cluster, eps = _cluster_with_am()
+        limit = cluster.costs.net.short_max_bytes
+
+        # 2 x 16 float64 view: len() == 2 but nbytes == 256 > limit
+        wide = memoryview(np.zeros((2, 16), dtype=np.float64))
+        assert len(wide) == 2 and wide.nbytes > limit
+        assert AMFrame("h", (), wide).payload_bytes() == wide.nbytes
+
+        def sender(node):
+            yield from node.service("am").send_short(1, "h", data=wide)
+
+        gen = sender(cluster.nodes[0])
+        with pytest.raises(RuntimeStateError, match="short frame"):
+            next(gen)
+
+    def test_short_memoryview_within_limit_accepted(self):
+        """A flat view whose nbytes fit the short frame goes through, and
+        the handler reads the payload zero-copy."""
+        cluster, eps = _cluster_with_am()
+        got = []
+
+        def h(ep, src, frame):
+            got.append(bytes(frame.data))
+            return
+            yield
+
+        eps[1].register_handler("h", h)
+        payload = memoryview(bytearray(b"0123456789abcdef"))
+
+        def sender(node):
+            yield from node.service("am").send_short(1, "h", data=payload)
+
+        def drain(node):
+            yield from node.service("am").wait_and_poll()
+
+        cluster.launch(1, drain(cluster.nodes[1]))
+        cluster.launch(0, sender(cluster.nodes[0]))
+        cluster.run()
+        assert got == [b"0123456789abcdef"]
+
     def test_short_at_exact_limit_accepted(self):
         cluster, eps = _cluster_with_am()
         eps[1].register_handler("h", lambda *a: iter(()))

@@ -1,0 +1,169 @@
+"""Property tests for the pooled zero-copy marshalling path.
+
+The invariants pinned down here are the ones the wall-clock fast path
+leans on:
+
+* concurrent RMIs never alias each other's payload buffers;
+* a payload view stays byte-stable even when its backing buffer is
+  returned to the pool while the view is alive (the pool *abandons* it);
+* steady-state RMI traffic leases only recycled buffers — zero new
+  allocations once warm;
+* receiver-side recycling routes a buffer back to the pool that leased
+  it, which may live on a different node.
+"""
+
+import numpy as np
+
+from repro.ccpp import CCppRuntime, ProcessorObject, processor_class, remote
+from repro.machine.cluster import Cluster
+from repro.marshal.pool import BufferPool
+from repro.marshal.serialize import marshal_args, unmarshal_args
+
+
+@processor_class
+class PoolTarget(ProcessorObject):
+    @remote
+    def plain(self, x=0):
+        return x
+
+    @remote(threaded=True)
+    def echo_array(self, arr):
+        return np.asarray(arr) * 2.0
+
+
+def _rt(n=2, **kw):
+    return CCppRuntime(Cluster(n), **kw)
+
+
+def _run(rt, program):
+    thread = rt.launch(0, program)
+    rt.run()
+    return thread.result
+
+
+class TestPoolMechanics:
+    def test_warm_lease_reuses_recycled_buffer(self):
+        pool = BufferPool()
+        buf = pool.take()
+        buf += b"payload"
+        pool.give(buf)
+        assert pool.free_count == 1
+        again = pool.take()
+        assert again is buf
+        assert len(again) == 0  # reset on recycle
+        assert pool.stats()["reuses"] == 1
+
+    def test_view_stable_after_abandoned_recycle(self):
+        """Returning a buffer while a view is still exported must abandon
+        it, never mutate bytes under the live view."""
+        pool = BufferPool()
+        buf = pool.take()
+        buf += b"stable-bytes"
+        view = memoryview(buf)
+        pool.give(buf)
+        assert pool.abandoned == 1
+        assert pool.free_count == 0
+        assert bytes(view) == b"stable-bytes"
+        # the next lease is a fresh buffer, not the abandoned one
+        assert pool.take() is not buf
+
+    def test_recycle_view_routes_to_origin_pool(self):
+        """Payloads are packed on the sender and recycled on the receiver;
+        the buffer must flow back to the pool that leased it."""
+        sender_pool = BufferPool()
+        receiver_pool = BufferPool()
+        view = sender_pool.take_packed(b"cross-node")
+        receiver_pool.recycle_view(view)
+        assert sender_pool.free_count == 1
+        assert sender_pool.recycles == 1
+        assert receiver_pool.free_count == 0
+        assert receiver_pool.recycles == 0
+
+    def test_recycle_foreign_view_is_noop(self):
+        """A view over caller-owned bytes is released but never pooled."""
+        pool = BufferPool()
+        view = memoryview(b"not ours")
+        pool.recycle_view(view)
+        assert pool.free_count == 0
+        assert pool.recycles == 0
+        # released: any access must now fail
+        try:
+            view.tobytes()
+        except ValueError:
+            pass
+        else:  # pragma: no cover - would mean release() regressed
+            raise AssertionError("view should have been released")
+
+    def test_take_packed_accepts_ndarray(self):
+        pool = BufferPool()
+        arr = np.arange(4, dtype=np.float64)
+        view = pool.take_packed(arr)
+        assert bytes(view) == arr.tobytes()
+        pool.recycle_view(view)
+        assert pool.free_count == 1
+
+
+class TestMarshalRoundtrip:
+    def test_unmarshal_results_survive_buffer_reuse(self):
+        """Every value extracted from a pooled payload owns its bytes:
+        recycling and repacking the buffer must not disturb them."""
+        pool = BufferPool()
+        arr = np.linspace(0.0, 1.0, 16)
+        payload, _ = marshal_args(("hello", 42, 2.5, b"raw", arr), pool=pool)
+        assert type(payload) is memoryview
+        values = unmarshal_args(payload, pool=pool)  # recycles the buffer
+        assert pool.free_count == 1
+        # clobber the recycled buffer with a different message
+        other, _ = marshal_args((b"\xff" * 64,), pool=pool)
+        assert values[0] == "hello"
+        assert values[1] == 42
+        assert values[2] == 2.5
+        assert values[3] == b"raw"
+        np.testing.assert_array_equal(values[4], arr)
+        pool.recycle_view(other)
+
+
+class TestPoolUnderRMI:
+    def test_no_aliasing_across_concurrent_rmis(self):
+        """Overlapping RMIs with distinct array payloads each see their
+        own bytes — no pooled buffer is shared while in use."""
+        rt = _rt()
+        inputs = [np.full(16, float(i)) for i in range(6)]
+
+        def program(ctx):
+            gp = yield from ctx.create(1, PoolTarget)
+            futures = []
+            for arr in inputs:
+                fut = yield from ctx.rmi_future(gp, "echo_array", arr)
+                futures.append(fut)
+            results = []
+            for fut in futures:
+                results.append((yield from fut.get()))
+            return results
+
+        results = _run(rt, program)
+        for arr, res in zip(inputs, results):
+            np.testing.assert_array_equal(res, arr * 2.0)
+
+    def test_null_rmi_steady_state_allocates_nothing(self):
+        """After warmup, 100 null RMIs lease only recycled buffers on
+        every node — the paper's persistent-buffer claim, by counter."""
+        rt = _rt()
+        pools = [n.marshal_pool for n in rt.cluster.nodes]
+
+        def program(ctx):
+            gp = yield from ctx.create(1, PoolTarget)
+            for _ in range(20):  # warm the freelists
+                yield from ctx.rmi(gp, "plain")
+            marks = [p.allocs for p in pools]
+            lease_marks = [p.leases for p in pools]
+            for _ in range(100):
+                yield from ctx.rmi(gp, "plain")
+            allocs = [p.allocs - m for p, m in zip(pools, marks)]
+            leases = [p.leases - m for p, m in zip(pools, lease_marks)]
+            return allocs, leases
+
+        allocs, leases = _run(rt, program)
+        assert allocs == [0, 0], f"steady-state allocations: {allocs}"
+        # the traffic really went through the pools (callee packs replies)
+        assert leases[1] >= 100
