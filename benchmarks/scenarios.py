@@ -138,6 +138,34 @@ def em3d_step(stats_out: dict | None = None) -> Any:
     return run_splitc_em3d(_EM3D_GRAPH, steps=1, version="base", warmup_steps=0)
 
 
+@scenario("traced_em3d_step")
+def traced_em3d_step(stats_out: dict | None = None) -> Any:
+    """The em3d_step workload with full observability attached (span
+    recorder + metrics registry) — prices the instrumented path so a
+    regression in the guard idiom (hooks resolved to None when off,
+    one is-None test when on) shows up in CI."""
+    from repro.apps.em3d import Em3dGraph, Em3dParams, run_splitc_em3d
+    from repro.obs import Metrics, SpanRecorder
+
+    global _EM3D_GRAPH
+    if _EM3D_GRAPH is None:
+        _EM3D_GRAPH = Em3dGraph(
+            Em3dParams(n_nodes=160, degree=8, n_procs=4, pct_remote=1.0)
+        )
+    tracer = SpanRecorder(maxlen=500_000)
+    metrics = Metrics()
+    out = run_splitc_em3d(
+        _EM3D_GRAPH,
+        steps=1,
+        version="base",
+        warmup_steps=0,
+        tracer=tracer,
+        metrics=metrics,
+    )
+    assert tracer.spans and len(metrics)
+    return out
+
+
 @scenario("reliable_am_roundtrip")
 def reliable_am_roundtrip(stats_out: dict | None = None) -> float:
     """Bare-AM ping-pong with the reliable-delivery sublayer on (seq

@@ -58,6 +58,7 @@ from typing import Any
 from repro.am.frames import BULK_HEADER_BYTES, SHORT_HEADER_BYTES, AMFrame
 from repro.errors import RetryExhaustedError, RuntimeStateError, SimulationError
 from repro.machine.network import Network, Packet
+from repro.obs.metrics import MetricNames
 from repro.sim.account import Category, CounterNames
 from repro.sim.effects import WAIT_INBOX, Charge
 
@@ -164,6 +165,16 @@ class AMEndpoint:
         self._chg_hit_bulk = Charge(
             net.poll_hit_cpu + net.bulk_recv_cpu + irq, Category.NET
         )
+        # observability: pre-resolved histograms / span recorder, or None
+        # (the default) — each guarded site costs one is-None test
+        metrics = node.metrics
+        if metrics is not None:
+            self._h_service = metrics.histogram(MetricNames.AM_SERVICE)
+            self._h_retx = metrics.histogram(MetricNames.RETX_DELAY)
+        else:
+            self._h_service = None
+            self._h_retx = None
+        self._spans = node._spans
         # hoisted per-send constants (the send path runs per message)
         self._short_max = net.short_max_bytes
         self._window = net.credit_window
@@ -416,6 +427,10 @@ class AMEndpoint:
                 retries=self.retry.max_retries,
             )
         self._retries[peer] = retries
+        if self._h_retx is not None:
+            # the timeout that just expired — how long the channel sat
+            # unacked before this resend (backoff included)
+            self._h_retx.record(self._rto.get(peer, self.retry.timeout_us))
         kind, payload, nbytes, bulk = pending[seq]
         net = self.node.costs.net
         cost = net.short_send_cpu + (net.bulk_setup_cpu if bulk else 0.0)
@@ -454,6 +469,8 @@ class AMEndpoint:
         handled = 0
         consumed = self._consumed
         handlers = self._handlers
+        h_service = self._h_service
+        spans = self._spans
         while inbox:
             pkt = inbox.popleft()
             if pkt.kind == KIND_CREDIT:
@@ -464,6 +481,10 @@ class AMEndpoint:
                 )
                 continue
             yield self._chg_hit_bulk if pkt.kind == KIND_BULK else self._chg_hit_short
+            if h_service is not None:
+                # injection -> serviced: wire time + inbox queueing + the
+                # receive CPU just charged (the paper's reception delay)
+                h_service.record(node.sim.now - pkt.send_time)
             consumed[pkt.src] = consumed.get(pkt.src, 0) + 1
             frame: AMFrame = pkt.payload
             try:
@@ -473,11 +494,18 @@ class AMEndpoint:
                     f"node {node.nid}: no AM handler {frame.handler!r} "
                     f"(message from node {pkt.src})"
                 ) from None
+            sid = (
+                spans.begin(node.sim.now, node.nid, "am.handle", frame.handler)
+                if spans is not None
+                else -1
+            )
             self._in_handler = True
             try:
                 yield from fn(self, pkt.src, frame)
             finally:
                 self._in_handler = False
+                if spans is not None:
+                    spans.end(sid, node.sim.now)
             handled += 1
         # delegate to the refill generator only when a source actually
         # crossed the half-window (the common poll sends no refill)

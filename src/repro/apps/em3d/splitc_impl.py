@@ -57,6 +57,7 @@ def run_splitc_em3d(
     faults: Any | None = None,
     reliable: bool = False,
     retry: Any = None,
+    metrics: Any | None = None,
 ) -> Em3dRunResult:
     """Run one Split-C EM3D configuration and measure it.
 
@@ -71,7 +72,12 @@ def run_splitc_em3d(
     layout = Em3dLayout(graph)
     p = graph.params
     cluster = Cluster(
-        p.n_procs, costs=costs, fast_path=fast_path, tracer=tracer, faults=faults
+        p.n_procs,
+        costs=costs,
+        fast_path=fast_path,
+        tracer=tracer,
+        faults=faults,
+        metrics=metrics,
     )
     rt = SplitCRuntime(cluster, reliable=reliable, retry=retry)
 

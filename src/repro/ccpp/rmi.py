@@ -47,6 +47,7 @@ from repro.marshal import (
     pack_fn_for,
     unmarshal_args,
 )
+from repro.obs.metrics import MetricNames
 from repro.sim.account import Category, CounterNames
 from repro.sim.effects import Charge
 from repro.threads.api import spawn
@@ -170,6 +171,15 @@ class RMIEngine:
 
     def __init__(self, rt: "CCppRuntime"):
         self.rt = rt
+        # observability: pre-resolved latency histogram / span recorder,
+        # or None (the default) — invoke() pays one is-None test each
+        cluster = rt.cluster
+        metrics = getattr(cluster, "metrics", None)
+        self._hist_latency = (
+            None if metrics is None else metrics.histogram(MetricNames.RMI_LATENCY)
+        )
+        tracer = getattr(cluster, "tracer", None)
+        self._spans = tracer if getattr(tracer, "wants_spans", False) else None
         self._state = [
             _NodeRMIState(
                 slot_lock=Lock(node, "rmi-slots"),
@@ -287,6 +297,13 @@ class RMIEngine:
         st = self._state[node.nid]
         stubs = self.rt.stub_tables[node.nid]
 
+        # passive observability (both None by default): end-to-end latency
+        # histogram plus a nested span tree for the trace view
+        sp = self._spans
+        hist = self._hist_latency
+        t0 = node.sim.now if (sp is not None or hist is not None) else 0.0
+        sid = sp.begin(t0, node.nid, "rmi.invoke", name) if sp is not None else -1
+
         # 1. stub cache probe, under the table lock
         yield from stubs.lock.acquire()
         yield st.chgs.stub_lookup
@@ -295,6 +312,11 @@ class RMIEngine:
 
         # 2. marshal arguments into the S-buffer (leased from the node's
         # buffer pool; the payload travels as a zero-copy view of it)
+        msid = (
+            sp.begin(node.sim.now, node.nid, "rmi.marshal", parent=sid)
+            if sp is not None
+            else -1
+        )
         pool = node.marshal_pool
         if not args:
             payload: Any = b""
@@ -325,6 +347,8 @@ class RMIEngine:
             if chg0 is None:
                 st.chg_marshal0 = chg0 = self._marshal_charge(node, 0, ())
             yield chg0
+        if sp is not None:
+            sp.end(msid, node.sim.now)
 
         # 3. completion record
         slot, box = yield from self._new_box(node.nid, wait)
@@ -363,7 +387,14 @@ class RMIEngine:
         yield from st.comm_lock.release()
 
         # 5. wait for the reply
+        wsid = (
+            sp.begin(node.sim.now, node.nid, "rmi.wait", parent=sid)
+            if sp is not None
+            else -1
+        )
         yield from self._await_box(ep, box)
+        if sp is not None:
+            sp.end(wsid, node.sim.now)
         if box.lock is not None:
             # drained: completer signalled and released, waiter reacquired
             # and released — nothing references the pair any more
@@ -387,6 +418,10 @@ class RMIEngine:
             )
         (result,) = unmarshal_args(box.payload, pool=pool)
         yield self._marshal_charge(node, plen, (result,))
+        if hist is not None:
+            hist.record(node.sim.now - t0)
+        if sp is not None:
+            sp.end(sid, node.sim.now)
         return result
 
     def invoke_async(
@@ -468,6 +503,12 @@ class RMIEngine:
         st = self._state[node.nid]
         slot, cold, key, obj_id, rbuf_id = frame.args
         payload = frame.data
+        sp = self._spans
+        sid = (
+            sp.begin(node.sim.now, node.nid, "rmi.dispatch", str(key))
+            if sp is not None
+            else -1
+        )
         yield st.chgs.rmi_dispatch
 
         stubs = self.rt.stub_tables[node.nid]
@@ -516,6 +557,8 @@ class RMIEngine:
         else:
             # non-threaded RMI: the stub runs directly as the AM handler
             yield from self._run_method(ep, src, slot, stub, obj, payload)
+        if sp is not None:
+            sp.end(sid, node.sim.now)
 
     def _method_thread(self, ep, src, slot, stub, obj, payload):
         """Body for threaded / atomic RMIs."""
@@ -530,6 +573,12 @@ class RMIEngine:
     def _run_method(self, ep: AMEndpoint, src: int, slot: int, stub, obj, payload):
         node = ep.node
         rc = node.costs.runtime
+        sp = self._spans
+        sid = (
+            sp.begin(node.sim.now, node.nid, "rmi.method", stub.name)
+            if sp is not None
+            else -1
+        )
 
         # length before unmarshalling: a zero-copy payload view is
         # released and its buffer recycled by unmarshal_args
@@ -566,6 +615,8 @@ class RMIEngine:
             result = f"{type(exc).__name__}: {exc}"
 
         if slot is None:
+            if sp is not None:
+                sp.end(sid, node.sim.now)
             return  # one-sided invocation: no reply expected
 
         rpayload, _ = marshal_args((result,), pool=node.marshal_pool)
@@ -591,6 +642,8 @@ class RMIEngine:
                 nbytes=BULK_HEADER_BYTES + _REPLY_CONTROL_BYTES + len(rpayload),
             )
         yield from st.comm_lock.release()
+        if sp is not None:
+            sp.end(sid, node.sim.now)
 
     # ---------------------------------------------------------------- replies
 

@@ -20,7 +20,7 @@ def main(argv: list[str] | None = None) -> int:
         "artifact",
         choices=[
             "table1", "table4", "figure5", "figure6", "nexus", "ablations",
-            "faults", "scaling", "scorecard", "all",
+            "faults", "scaling", "scorecard", "trace", "metrics", "all",
         ],
         help="which paper artifact to regenerate",
     )
@@ -42,7 +42,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--out",
         metavar="DIR",
-        help="also write rendered artifacts (and CSVs) to this directory",
+        help="also write rendered artifacts (and CSVs) to this directory; "
+        "for 'trace', a path ending in .json writes the Perfetto JSON "
+        "directly to that file",
     )
     args = parser.parse_args(argv)
 
@@ -58,6 +60,16 @@ def main(argv: list[str] | None = None) -> int:
                 f"unknown scenario(s) {', '.join(unknown)}; "
                 f"choose from: {', '.join(scenario_names())}"
             )
+
+    if args.artifact == "trace" and args.out and args.out.endswith(".json"):
+        # `repro-experiments trace --out trace.json`: write the Perfetto
+        # JSON straight to the named file (open it at ui.perfetto.dev)
+        from repro.experiments import obs_trace
+
+        result = obs_trace.run(quick=not args.full)
+        print(result.render())
+        print(f"wrote {result.write(args.out)}")
+        return 0
 
     if args.out:
         from repro.experiments.report import ARTIFACTS, write_all
@@ -77,7 +89,7 @@ def main(argv: list[str] | None = None) -> int:
 
     chosen = (
         ["table1", "table4", "figure5", "figure6", "nexus", "ablations",
-         "faults", "scaling", "scorecard"]
+         "faults", "scaling", "scorecard", "trace", "metrics"]
         if args.artifact == "all"
         else [args.artifact]
     )
@@ -120,6 +132,14 @@ def main(argv: list[str] | None = None) -> int:
             from repro.experiments import scorecard
 
             print(scorecard.run(quick=not args.full, iters=args.iters).render())
+        elif artifact == "trace":
+            from repro.experiments import obs_trace
+
+            print(obs_trace.run(quick=not args.full).render())
+        elif artifact == "metrics":
+            from repro.experiments import obs_metrics
+
+            print(obs_metrics.run(iters=args.iters, quick=not args.full).render())
         print(f"[{artifact} done in {time.time() - t0:.1f}s wall]\n")
     return 0
 

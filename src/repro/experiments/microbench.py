@@ -34,6 +34,7 @@ from repro.machine.costs import SP2_COSTS, CostModel
 from repro.marshal import Marshallable
 from repro.marshal.packer import Packer, Unpacker
 from repro.mpl import install_mpl
+from repro.obs.metrics import MetricNames
 from repro.sim.account import Category, CounterNames
 from repro.splitc import SCProcess, SplitCRuntime
 
@@ -269,6 +270,7 @@ def run_cc_microbench(
     reception: str = "polling",
     fast_path: bool = True,
     stats_out: dict | None = None,
+    metrics: Any | None = None,
 ) -> MicroRow:
     """Run one CC++ micro-benchmark on a fresh 2-node cluster.
 
@@ -278,7 +280,7 @@ def run_cc_microbench(
     (wall-clock instrumentation for the throughput benchmarks).
     """
     op, scale = CC_BENCHMARKS[name]
-    cluster = Cluster(2, costs=costs, fast_path=fast_path)
+    cluster = Cluster(2, costs=costs, fast_path=fast_path, metrics=metrics)
     rt = CCppRuntime(
         cluster,
         stub_caching=stub_caching,
@@ -351,6 +353,7 @@ def run_sc_microbench(
     costs: CostModel = SP2_COSTS,
     fast_path: bool = True,
     stats_out: dict | None = None,
+    metrics: Any | None = None,
 ) -> MicroRow:
     """Run one Split-C micro-benchmark on a fresh 2-node cluster.
 
@@ -358,7 +361,7 @@ def run_sc_microbench(
     therefore servicing node 0's requests, as an SPMD program would.
     """
     op, scale = SC_BENCHMARKS[name]
-    cluster = Cluster(2, costs=costs, fast_path=fast_path)
+    cluster = Cluster(2, costs=costs, fast_path=fast_path, metrics=metrics)
     rt = SplitCRuntime(cluster)
     rt.register_rpc("foo", lambda _rt, _nid: 0)
     for nid in range(2):
@@ -396,6 +399,7 @@ def am_base_rtt(
     reliable: bool = False,
     retry: Any = None,
     stats_out: dict | None = None,
+    metrics: Any | None = None,
 ) -> float:
     """Round-trip time of the bare AM layer (the 55 µs reference).
 
@@ -404,8 +408,11 @@ def am_base_rtt(
     ablation of :mod:`repro.experiments.faults`.  ``stats_out`` receives
     protocol counters (retransmits, acks, drops) and the summed NET µs.
     """
-    cluster = Cluster(2, costs=costs, faults=faults)
+    cluster = Cluster(2, costs=costs, faults=faults, metrics=metrics)
     eps = install_am(cluster, reliable=reliable, retry=retry)
+    # per-iteration RTT distribution (None when metrics are off); under a
+    # fault plan the tail shows the retransmission delays directly
+    h_rtt = None if metrics is None else metrics.histogram(MetricNames.AM_RTT)
     state = {"got": 0}
 
     def echo(ep, src, frame):
@@ -436,8 +443,11 @@ def am_base_rtt(
         t0 = node.sim.now
         for _ in range(iters):
             want = state["got"] + 1
+            t1 = node.sim.now if h_rtt is not None else 0.0
             yield from ep.send_short(1, "echo", nbytes=12)
             yield from ep.poll_until(lambda: state["got"] >= want)
+            if h_rtt is not None:
+                h_rtt.record(node.sim.now - t1)
         out["rtt"] = (node.sim.now - t0) / iters
 
     cluster.launch(1, server(cluster.nodes[1]), daemon=True)

@@ -17,6 +17,8 @@ from repro.experiments import (
     figure5,
     figure6,
     nexus_compare,
+    obs_metrics,
+    obs_trace,
     scaling,
     scorecard,
     table1,
@@ -35,6 +37,8 @@ ARTIFACTS = (
     "faults",
     "scaling",
     "scorecard",
+    "metrics",
+    "trace",
 )
 
 
@@ -79,4 +83,12 @@ def write_all(
         _write("scaling.txt", scaling.run().render())
     if "scorecard" in artifacts:
         _write("scorecard.txt", scorecard.run(quick=quick, iters=iters).render())
+    if "metrics" in artifacts:
+        result = obs_metrics.run(iters=iters, quick=quick)
+        _write("metrics.txt", result.render())
+        _write("metrics.csv", result.csv())
+    if "trace" in artifacts:
+        result = obs_trace.run(quick=quick)
+        _write("trace_summary.txt", result.render())
+        written.append(result.write(out / "trace.json"))
     return written

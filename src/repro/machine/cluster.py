@@ -45,18 +45,25 @@ class Cluster:
         tracer: Tracer | None = None,
         fast_path: bool = True,
         faults: FaultPlan | None = None,
+        metrics: Any | None = None,
     ):
         if n_nodes < 1:
             raise SimulationError(f"cluster needs >= 1 node, got {n_nodes}")
         costs.validate()
         self.costs = costs
+        #: the tracer shared by every node/network (None = untraced);
+        #: runtimes probe it for the span capability
+        self.tracer = tracer
+        #: optional :class:`~repro.obs.metrics.Metrics` registry shared by
+        #: every layer of this cluster (None = unmetered)
+        self.metrics = metrics
         # fast_path=False forces the general heap-only engine; results are
         # bit-identical (the golden-trace suite holds us to that)
         self.sim = Simulator(fast_path=fast_path)
-        self.network = Network(self.sim, tracer=tracer, faults=faults)
+        self.network = Network(self.sim, tracer=tracer, faults=faults, metrics=metrics)
         self.nodes: list[Node] = []
         for nid in range(n_nodes):
-            node = Node(nid, self.sim, costs, tracer=tracer)
+            node = Node(nid, self.sim, costs, tracer=tracer, metrics=metrics)
             self.network.register(node)
             Scheduler(node)
             self.nodes.append(node)

@@ -24,6 +24,7 @@ from typing import Any
 
 from repro.errors import SimulationError
 from repro.machine.faults import DROP, FaultPlan
+from repro.obs.metrics import MetricNames
 from repro.sim.account import CounterNames
 from repro.sim.engine import Simulator
 from repro.sim.trace import NullTracer, Tracer
@@ -77,10 +78,16 @@ class Network:
         *,
         tracer: Tracer | None = None,
         faults: FaultPlan | None = None,
+        metrics: Any | None = None,
     ):
         self.sim = sim
         self.tracer: Tracer = tracer if tracer is not None else NullTracer()
         self._trace = None if type(self.tracer) is NullTracer else self.tracer.record
+        # pre-resolved per-packet bytes histogram, or None when metrics
+        # are off (one is-None test per transmit)
+        self._h_bytes = (
+            None if metrics is None else metrics.histogram(MetricNames.MSG_BYTES)
+        )
         self._nodes: dict[int, Any] = {}
         #: fault-injection plan; None (or an empty plan) = perfect fabric
         self.faults = faults
@@ -143,6 +150,8 @@ class Network:
         self.packets_sent += 1
         self.bytes_carried += nbytes
         src.counters.counts[CounterNames.BYTES_SENT] += nbytes
+        if self._h_bytes is not None:
+            self._h_bytes.record(nbytes)
         if self._trace is not None:
             self._trace(now, packet.src, "send", packet.describe())
 

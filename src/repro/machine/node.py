@@ -43,6 +43,7 @@ class Node:
         costs: "CostModel",
         *,
         tracer: Tracer | None = None,
+        metrics: Any | None = None,
     ):
         if nid < 0:
             raise SimulationError(f"node id must be >= 0, got {nid}")
@@ -51,6 +52,12 @@ class Node:
         self.costs = costs
         self.tracer: Tracer = tracer if tracer is not None else NullTracer()
         self._trace = None if type(self.tracer) is NullTracer else self.tracer.record
+        #: span-capable tracer (:class:`~repro.obs.spans.SpanRecorder`) or
+        #: None — runtimes resolve this once and guard span sites with it
+        self._spans = self.tracer if getattr(self.tracer, "wants_spans", False) else None
+        #: optional :class:`~repro.obs.metrics.Metrics` registry shared by
+        #: the whole cluster; layers resolve their histograms from it
+        self.metrics = metrics
         self.account = TimeAccount()
         self.counters = Counters()
         #: messages delivered by the network, oldest first

@@ -18,6 +18,8 @@ the pool merely loses one reuse.  A property test pins this down.
 
 from __future__ import annotations
 
+from repro.errors import RuntimeStateError
+
 __all__ = ["BufferPool"]
 
 
@@ -28,9 +30,15 @@ class _LeasedBuffer(bytearray):
     unmarshals and recycles.  Routing the recycle to the buffer's origin
     pool keeps every node's freelist warm under one-way traffic (a node
     that only ever sends replies would otherwise allocate per message
-    while its peer's pool grows)."""
+    while its peer's pool grows).
 
-    __slots__ = ("pool",)
+    ``leased`` is the custody bit: True from :meth:`BufferPool.take`
+    until :meth:`BufferPool.give` takes the buffer back.  Giving a buffer
+    that is not currently leased would append it to the freelist twice,
+    and two later takes would then lease the *same* backing store — the
+    double-recycle corruption the guard in ``give`` refuses."""
+
+    __slots__ = ("pool", "leased")
 
 
 class BufferPool:
@@ -59,10 +67,13 @@ class BufferPool:
         free = self._free
         if free:
             self.reuses += 1
-            return free.pop()
+            buf = free.pop()
+            buf.leased = True
+            return buf
         self.allocs += 1
         buf = _LeasedBuffer()
         buf.pool = self
+        buf.leased = True
         return buf
 
     def take_packed(self, data) -> memoryview:
@@ -78,7 +89,23 @@ class BufferPool:
     def give(self, buf: bytearray) -> None:
         """Return a leased buffer.  Refused (abandoned) if any view of it
         is still exported — reusing it would mutate bytes under a live
-        payload view."""
+        payload view.
+
+        Raises :class:`~repro.errors.RuntimeStateError` for a buffer this
+        pool never leased, and for a *double give* — the same buffer would
+        sit on the freelist twice and two later leases would alias it.
+        """
+        if type(buf) is not _LeasedBuffer or buf.pool is not self:
+            raise RuntimeStateError(
+                "BufferPool.give: buffer was not leased from this pool "
+                "(recycle through its origin pool, or recycle_view for payload views)"
+            )
+        if not buf.leased:
+            raise RuntimeStateError(
+                "BufferPool.give: buffer already returned (double recycle); "
+                "two freelist entries would alias the same backing store"
+            )
+        buf.leased = False
         try:
             # bytearray refuses any resize while a buffer is exported;
             # clearing doubles as the reuse-readiness probe and the reset.

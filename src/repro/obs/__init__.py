@@ -1,0 +1,30 @@
+"""Observability: span tracing, metrics histograms, Perfetto export.
+
+Everything in this package is *passive*: spans and histogram samples are
+taken at existing control points of the simulated machine and never
+schedule events, consume sequence numbers, or charge time — an
+instrumented run is bit-identical in virtual time to an uninstrumented
+one (the determinism suite holds us to that).
+
+* :mod:`repro.obs.spans` — nested begin/end spans in virtual time,
+  recorded through the existing :class:`~repro.sim.trace.Tracer` hook.
+* :mod:`repro.obs.metrics` — named log-bucket histograms (allocation-free
+  on the hot path) and a registry with p50/p90/p99 reporting.
+* :mod:`repro.obs.perfetto` — Chrome trace-event / Perfetto JSON export
+  with one track per node and flow events linking send → deliver.
+"""
+
+from repro.obs.metrics import LogHistogram, MetricNames, Metrics, collect_cluster_gauges
+from repro.obs.perfetto import chrome_trace_events, write_chrome_trace
+from repro.obs.spans import Span, SpanRecorder
+
+__all__ = [
+    "LogHistogram",
+    "MetricNames",
+    "Metrics",
+    "Span",
+    "SpanRecorder",
+    "chrome_trace_events",
+    "collect_cluster_gauges",
+    "write_chrome_trace",
+]

@@ -147,8 +147,17 @@ class Counters:
         return {k: self.counts.get(k, 0) - snapshot.get(k, 0) for k in keys}
 
     def merge(self, other: "Counters") -> None:
+        """Fold another counter set into this one.
+
+        Enforces the same non-negativity :meth:`inc` does — a negative
+        count in ``other`` (a buggy producer writing ``counts`` directly)
+        must fail loudly here, not merge silently into the totals.
+        """
+        counts = self.counts  # defaultdict: += self-initialises missing keys
         for name, v in other.counts.items():
-            self.counts[name] = self.counts.get(name, 0) + v
+            if v < 0:
+                raise ValueError(f"negative count {v} for counter {name!r} in merge")
+            counts[name] += v
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Counters({dict(self.counts)!r})"

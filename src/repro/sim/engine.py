@@ -202,6 +202,18 @@ class Simulator:
             ),
         }
 
+    def queue_stats(self) -> dict[str, int]:
+        """Event-queue depth snapshot (diagnostics and the ``metrics``
+        artifact's gauges — O(heap), off every hot path)."""
+        heap_live = sum(1 for e in self._heap if e[2] is not None)
+        return {
+            "heap_depth": len(self._heap),
+            "heap_live": heap_live,
+            "heap_cancelled": self._cancelled_in_heap,
+            "lane_depth": len(self._immediate),
+            "freelist": len(self._free),
+        }
+
     # ------------------------------------------------------------ scheduling
 
     def schedule(self, delay: float, fn: Callable[[], None]) -> None:

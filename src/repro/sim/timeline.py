@@ -39,25 +39,39 @@ def render_timeline(
     start: float = 0.0,
     end: float | None = None,
     limit: int = 200,
+    tail: bool = False,
     col_width: int = 34,
 ) -> str:
     """Render the trace as one column per node, one row per event.
 
     ``start``/``end`` bound the virtual-time window; ``limit`` caps the
-    rows (oldest first within the window) so a long run stays readable.
+    rows so a long run stays readable.  By default the *first* ``limit``
+    rows of the window are shown; ``tail=True`` shows the *last* ``limit``
+    instead — on a long run the interesting part (the stall, the final
+    barrier) is the tail, and the tracer's bounded deque has already
+    evicted the oldest records anyway.  Either way the truncation is
+    explicit: omitted-row counts and tracer evictions are printed, never
+    silently dropped.
     """
     if n_nodes < 1:
         raise ValueError("n_nodes must be >= 1")
-    records = [
+    window = [
         r
         for r in tracer.records
         if r.time >= start and (end is None or r.time <= end)
-    ][:limit]
+    ]
+    omitted = max(0, len(window) - limit)
+    records = window[-limit:] if tail else window[:limit]
 
     header = "time (us)".ljust(12) + "".join(
         f"node {nid}".ljust(col_width) for nid in range(n_nodes)
     )
     lines = [header, "-" * len(header.rstrip())]
+    evicted = getattr(tracer, "evicted", 0)
+    if evicted:
+        lines.append(f"... ({evicted} oldest records already evicted by the tracer)")
+    if tail and omitted:
+        lines.append(f"... ({omitted} earlier records omitted)")
     for r in records:
         cells = [""] * n_nodes
         if 0 <= r.node < n_nodes:
@@ -65,8 +79,8 @@ def render_timeline(
         lines.append(
             f"{r.time:>10.2f}  " + "".join(c.ljust(col_width) for c in cells)
         )
-    if len(tracer.records) > len(records):
-        lines.append(f"... ({len(tracer.records) - len(records)} more records)")
+    if not tail and omitted:
+        lines.append(f"... ({omitted} more records)")
     return "\n".join(line.rstrip() for line in lines)
 
 

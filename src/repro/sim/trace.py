@@ -25,7 +25,16 @@ class TraceRecord:
 
 
 class Tracer:
-    """Interface: override :meth:`record`."""
+    """Interface: override :meth:`record`.
+
+    ``wants_spans`` advertises the richer span API of
+    :class:`~repro.obs.spans.SpanRecorder` (``begin``/``end``).  Layers
+    that emit spans resolve the capability once at construction —
+    ``spans = tracer if getattr(tracer, "wants_spans", False) else None``
+    — so span sites cost a single ``is not None`` test when off.
+    """
+
+    wants_spans: bool = False
 
     def record(self, time: float, node: int, kind: str, detail: str = "") -> None:
         raise NotImplementedError
@@ -48,11 +57,17 @@ class RecordingTracer(Tracer):
     def __init__(self, *, maxlen: int = 100_000, kinds: set[str] | None = None):
         self.records: deque[TraceRecord] = deque(maxlen=maxlen)
         self.kinds = kinds
+        #: records the bounded deque pushed out (oldest-first eviction);
+        #: renderers surface this so truncation is never silent
+        self.evicted = 0
 
     def record(self, time: float, node: int, kind: str, detail: str = "") -> None:
         if self.kinds is not None and kind not in self.kinds:
             return
-        self.records.append(TraceRecord(time, node, kind, detail))
+        records = self.records
+        if len(records) == records.maxlen:
+            self.evicted += 1
+        records.append(TraceRecord(time, node, kind, detail))
 
     def of_kind(self, kind: str) -> list[TraceRecord]:
         """All retained records of one kind, oldest first."""
@@ -60,6 +75,7 @@ class RecordingTracer(Tracer):
 
     def clear(self) -> None:
         self.records.clear()
+        self.evicted = 0
 
     def __len__(self) -> int:
         return len(self.records)

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.am.frames import BULK_HEADER_BYTES
 from repro.errors import GlobalPointerError
+from repro.obs.metrics import MetricNames
 from repro.sim.account import Category
 from repro.sim.effects import Charge
 from repro.splitc.gptr import GlobalPtr
@@ -62,6 +63,13 @@ class SCProcess:
         self._chg_issue = Charge(rc.sc_issue, Category.RUNTIME)
         self._chg_local = Charge(rc.sc_local_access, Category.RUNTIME)
         self._chg_sync_check = Charge(rc.sc_sync_check, Category.RUNTIME)
+        # passive observability (both None by default): remote-read latency
+        # histogram plus spans around the remote access paths
+        self._spans = self.node._spans
+        metrics = self.node.metrics
+        self._h_read = (
+            None if metrics is None else metrics.histogram(MetricNames.SC_READ)
+        )
 
     # -------------------------------------------------------------- geometry
 
@@ -95,12 +103,20 @@ class SCProcess:
         if gp.is_local(self.nid):
             yield self._chg_local
             return self.mem.load(gp)
+        sp = self._spans
+        hist = self._h_read
+        t0 = self.node.sim.now if (sp is not None or hist is not None) else 0.0
+        sid = sp.begin(t0, self.nid, "sc.read", str(gp)) if sp is not None else -1
         yield self._chg_issue
         slot, box = self.rt.new_box(self.nid)
         yield from self.ep.send_short(
             gp.node, "sc.read", args=(gp.region, gp.offset, slot), nbytes=_READ_REQ_BYTES
         )
         yield from self.ep.poll_until(lambda: box.done)
+        if hist is not None:
+            hist.record(self.node.sim.now - t0)
+        if sp is not None:
+            sp.end(sid, self.node.sim.now)
         return box.value
 
     def write(self, gp: GlobalPtr, value: Any) -> Generator[Any, Any, None]:
@@ -109,6 +125,12 @@ class SCProcess:
             yield self._chg_local
             self.mem.store(gp, value)
             return
+        sp = self._spans
+        sid = (
+            sp.begin(self.node.sim.now, self.nid, "sc.write", str(gp))
+            if sp is not None
+            else -1
+        )
         yield self._chg_issue
         slot, box = self.rt.new_box(self.nid)
         yield from self.ep.send_short(
@@ -118,6 +140,8 @@ class SCProcess:
             nbytes=_WRITE_REQ_BYTES,
         )
         yield from self.ep.poll_until(lambda: box.done)
+        if sp is not None:
+            sp.end(sid, self.node.sim.now)
 
     # ---------------------------------------------------- split-phase accesses
 
@@ -157,8 +181,16 @@ class SCProcess:
     def sync(self) -> Generator[Any, Any, None]:
         """Wait for every outstanding split-phase operation by this node."""
         st = self.rt.state(self.nid)
+        sp = self._spans
+        sid = (
+            sp.begin(self.node.sim.now, self.nid, "sc.sync", f"pending {st.pending}")
+            if sp is not None
+            else -1
+        )
         yield self._chg_sync_check
         yield from self.ep.poll_until(lambda: st.pending == 0)
+        if sp is not None:
+            sp.end(sid, self.node.sim.now)
 
     # ------------------------------------------------------------- one-way
 
@@ -252,6 +284,12 @@ class SCProcess:
         if src.is_local(self.nid):
             yield self._chg_local
             return self.mem.load_block(src, count)
+        sp = self._spans
+        sid = (
+            sp.begin(self.node.sim.now, self.nid, "sc.bulk_read", f"{count} elems")
+            if sp is not None
+            else -1
+        )
         yield self._chg_issue
         slot, box = self.rt.new_box(self.nid)
         yield from self.ep.send_short(
@@ -261,6 +299,8 @@ class SCProcess:
             nbytes=_READ_REQ_BYTES + 8,
         )
         yield from self.ep.poll_until(lambda: box.done)
+        if sp is not None:
+            sp.end(sid, self.node.sim.now)
         return box.value
 
     def bulk_write(self, dest: GlobalPtr, values: np.ndarray) -> Generator[Any, Any, None]:
@@ -270,6 +310,14 @@ class SCProcess:
             yield self._chg_local
             self.mem.store_block(dest, values)
             return
+        sp = self._spans
+        sid = (
+            sp.begin(
+                self.node.sim.now, self.nid, "sc.bulk_write", f"{values.nbytes}B"
+            )
+            if sp is not None
+            else -1
+        )
         yield self._chg_issue
         slot, box = self.rt.new_box(self.nid)
         yield from self.ep.send_bulk(
@@ -280,6 +328,8 @@ class SCProcess:
             nbytes=BULK_HEADER_BYTES + values.nbytes,
         )
         yield from self.ep.poll_until(lambda: box.done)
+        if sp is not None:
+            sp.end(sid, self.node.sim.now)
 
     # --------------------------------------------------------------- barrier
 
@@ -287,6 +337,12 @@ class SCProcess:
         """Global SPMD barrier over all processors."""
         epoch = self._barrier_epoch
         self._barrier_epoch += 1
+        sp = self._spans
+        sid = (
+            sp.begin(self.node.sim.now, self.nid, "sc.barrier", f"epoch {epoch}")
+            if sp is not None
+            else -1
+        )
         yield self._chg_sync_check
         if self.nid == 0:
             st0 = self.rt.state(0)
@@ -302,6 +358,8 @@ class SCProcess:
             yield from self.ep.poll_until(
                 lambda: self.rt.state(self.nid).barrier_released > epoch
             )
+        if sp is not None:
+            sp.end(sid, self.node.sim.now)
 
     def bulk_get(
         self, dest: GlobalPtr, src: GlobalPtr, count: int

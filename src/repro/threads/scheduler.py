@@ -37,6 +37,7 @@ from collections.abc import Generator
 from typing import Any
 
 from repro.errors import SimulationError
+from repro.obs.metrics import MetricNames
 from repro.sim.account import Category, CounterNames
 from repro.sim.trace import NullTracer
 from repro.sim.effects import Charge, Park, Switch, WaitInbox
@@ -63,6 +64,12 @@ class Scheduler:
         # skipping the no-op call matters at dispatch frequency
         tracer = node.tracer
         self._trace = None if type(tracer) is NullTracer else tracer.record
+        # pre-resolved run-queue depth histogram (None when metrics are
+        # off); sampled at dispatch, the highest-frequency control point
+        metrics = node.metrics
+        self._h_runq = (
+            None if metrics is None else metrics.histogram(MetricNames.RUNQ_DEPTH)
+        )
         #: threads that ever ran on this node (diagnostics)
         self.threads: list[UThread] = []
         #: trampoline entries — the stall watchdog's progress signal
@@ -207,6 +214,10 @@ class Scheduler:
         if not self._ready:
             self._begin_idle()
             return
+        if self._h_runq is not None:
+            # depth when the dispatcher runs, including the thread about
+            # to be popped — a passive observation, no time charged
+            self._h_runq.record(len(self._ready))
         thr = self._ready.popleft()
         self._end_idle()
         thr.state = ThreadState.RUNNING

@@ -119,3 +119,28 @@ class TestCategory:
         assert str(Category.THREAD_MGMT) == "thread mgmt"
         assert str(Category.THREAD_SYNC) == "thread sync"
         assert str(Category.RUNTIME) == "runtime"
+
+class TestCountersMergeValidation:
+    def test_merge_rejects_negative_counts(self):
+        """A producer that wrote ``counts`` directly and went negative
+        must fail loudly at merge, not corrupt the totals silently."""
+        bad = Counters()
+        bad.counts["x"] = -1
+        c = Counters()
+        c.inc("x", 5)
+        with pytest.raises(ValueError):
+            c.merge(bad)
+        # the failed merge must not have partially applied
+        assert c.get("x") == 5
+
+    def test_merge_keeps_defaultdict_semantics(self):
+        """After a merge the receiver's counts must still self-initialise
+        missing keys (merge must mutate its own defaultdict in place)."""
+        src = Counters()
+        src.inc("x", 2)
+        c = Counters()
+        c.merge(src)
+        assert c.get("x") == 2
+        # direct += on a never-seen counter must not raise KeyError
+        c.counts["brand-new"] += 1
+        assert c.get("brand-new") == 1

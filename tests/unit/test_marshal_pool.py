@@ -167,3 +167,45 @@ class TestPoolUnderRMI:
         assert allocs == [0, 0], f"steady-state allocations: {allocs}"
         # the traffic really went through the pools (callee packs replies)
         assert leases[1] >= 100
+
+
+class TestDoubleRecycleGuard:
+    """Regression: give() used to accept the same buffer twice, putting
+    two references to one buffer on the freelist — two later takers would
+    then alias each other's payload bytes."""
+
+    def test_double_give_raises(self):
+        from repro.errors import RuntimeStateError
+        import pytest
+
+        pool = BufferPool()
+        buf = pool.take()
+        pool.give(buf)
+        with pytest.raises(RuntimeStateError):
+            pool.give(buf)
+        # exactly one freelist entry: the next two takes must not alias
+        a = pool.take()
+        b = pool.take()
+        assert a is not b
+
+    def test_give_foreign_buffer_raises(self):
+        from repro.errors import RuntimeStateError
+        import pytest
+
+        pool, other = BufferPool(), BufferPool()
+        buf = other.take()
+        with pytest.raises(RuntimeStateError):
+            pool.give(buf)
+        with pytest.raises(RuntimeStateError):
+            pool.give(bytearray(b"never leased"))
+
+    def test_retake_after_give_is_clean_lease(self):
+        """The recycle → take cycle re-arms the custody bit: a buffer can
+        go around the pool any number of times."""
+        pool = BufferPool()
+        buf = pool.take()
+        for _ in range(3):
+            buf += b"x"
+            pool.give(buf)
+            assert pool.take() is buf
+        assert pool.recycles == 3

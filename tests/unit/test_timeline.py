@@ -66,3 +66,29 @@ def test_summarize_kinds_counts():
     assert counts["deliver"] == 1
     assert counts["thread.run"] >= 2
     assert counts["thread.done"] >= 1
+
+
+def test_tail_mode_shows_latest_records():
+    """tail=True must render the *end* of the window, with an explicit
+    note about what was omitted (regression: the head slice hid the
+    newest records exactly when the tracer's deque evicts the oldest)."""
+    tracer = _traced_run()
+    everything = render_timeline(tracer, n_nodes=2)
+    tail = render_timeline(tracer, n_nodes=2, limit=2, tail=True)
+    assert "earlier records omitted" in tail
+    # the last data row of the full render must appear in the tail view
+    assert everything.splitlines()[-1] in tail.splitlines()
+    # head mode keeps its original trailing note
+    head = render_timeline(tracer, n_nodes=2, limit=2)
+    assert "more records" in head
+
+
+def test_tail_mode_notes_tracer_eviction():
+    """When the bounded deque has already evicted records, the timeline
+    must say so instead of silently rendering a partial history."""
+    tracer = RecordingTracer(maxlen=4)
+    for i in range(10):
+        tracer.record(float(i), 0, "tick", str(i))
+    assert tracer.evicted == 6
+    text = render_timeline(tracer, n_nodes=1, tail=True)
+    assert "6 oldest records already evicted" in text
