@@ -68,6 +68,13 @@ def test_bulk_payload_rate(benchmark):
 
 
 @pytest.mark.benchmark(group="simulator-throughput")
+def test_runner_overhead(benchmark):
+    n, stats = _bench(benchmark, "runner_overhead")
+    assert n == 200
+    assert stats["misses"] == 200 and stats["stores"] == 200
+
+
+@pytest.mark.benchmark(group="simulator-throughput")
 def test_em3d_step_simulation_rate(benchmark):
     res = benchmark.pedantic(
         lambda: SCENARIOS["em3d_step_160nodes"](),

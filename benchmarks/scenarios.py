@@ -176,6 +176,61 @@ def reliable_am_roundtrip(stats_out: dict | None = None) -> float:
     return am_base_rtt(iters=100, reliable=True, stats_out=stats_out)
 
 
+class NoopResult:
+    """Minimal result honouring the render/to_json/from_json contract."""
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+
+    def render(self) -> str:
+        return f"noop {self.n}"
+
+    def to_json(self) -> dict:
+        return {"n": self.n}
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "NoopResult":
+        return cls(payload["n"])
+
+
+def run_noop(*, n: int = 0) -> NoopResult:
+    return NoopResult(n)
+
+
+@scenario("runner_overhead")
+def runner_overhead(stats_out: dict | None = None) -> int:
+    """Orchestration overhead of the experiment runner, isolated from the
+    experiments themselves: 200 no-op tasks through ``run_tasks`` against
+    a fresh content-addressed cache — schema validation, per-task seed
+    hashing, cache keying, store, deterministic merge.  This is the fixed
+    per-task cost the registry/runner/cache stack adds on top of every
+    artifact run (inline path; spawn start-up is priced by the machine,
+    not by this code, so it is deliberately out of scope)."""
+    import shutil
+    import tempfile
+
+    from repro.experiments.cache import ResultCache
+    from repro.experiments.registry import ExperimentSpec, ParamSpec
+    from repro.experiments.runner import Task, run_tasks
+
+    spec = ExperimentSpec(
+        name="noop", title="noop", module="scenarios", entry="run_noop",
+        result_type="NoopResult", params=(ParamSpec("n", "int", 0),),
+    )
+    root = tempfile.mkdtemp(prefix="runner-overhead-")
+    try:
+        cache = ResultCache(root, version="bench")
+        tasks = [Task(spec, spec.validate({"n": i})) for i in range(200)]
+        outcomes = run_tasks(tasks, jobs=1, cache=cache, progress=lambda m: None)
+        if stats_out is not None:
+            stats_out.update(
+                hits=cache.hits, misses=cache.misses, stores=cache.stores
+            )
+        return len(outcomes)
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
 @scenario("bulk_payload")
 def bulk_payload(stats_out: dict | None = None) -> int:
     """Bulk-transfer hot loop: 30 iterations of a 4096-float64

@@ -14,12 +14,27 @@ Figure 6    Water + LU breakdowns                         :mod:`.figure6`
 ==========  ============================================  =====================
 
 Every module exposes ``run(...)`` returning a structured result with a
-``render()`` text table, and :mod:`.paper` holds the published numbers for
-side-by-side comparison.  ``python -m repro.experiments <artifact>`` runs
-one from the command line.
+``render()`` text table and the shared ``to_json()/from_json()``
+round-trip contract (:mod:`.serde`), and :mod:`.paper` holds the
+published numbers for side-by-side comparison.
+
+The artifacts are orchestrated through :mod:`.registry` (one
+:class:`~repro.experiments.registry.ExperimentSpec` per artifact with a
+validated parameter schema), executed by the process-pool runner in
+:mod:`.runner` (deterministic merge: parallel output is byte-identical
+to serial) and memoized by the content-addressed result cache in
+:mod:`.cache`.  ``python -m repro.experiments.cli run <artifact>`` runs
+one from the command line; ``sweep`` runs parameter grids.
 """
 
 from repro.experiments import paper
 from repro.experiments.microbench import MicroRow
+from repro.experiments.registry import ExperimentParamError, ExperimentSpec, ParamSpec
 
-__all__ = ["paper", "MicroRow"]
+__all__ = [
+    "paper",
+    "MicroRow",
+    "ExperimentSpec",
+    "ExperimentParamError",
+    "ParamSpec",
+]

@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.apps.water import WaterParams, WaterSystem, run_ccpp_water
+from repro.experiments import serde
 from repro.experiments.microbench import run_cc_microbench
 from repro.machine.costs import SP2_COSTS
 from repro.sim.account import CounterNames
@@ -66,6 +67,25 @@ class AblationResult:
             f"(paper: ~95%)"
         )
         return t.render() + census
+
+    def to_json(self) -> dict:
+        return {
+            "rows": [list(r) for r in self.rows],
+            "contended": self.contended,
+            "uncontended": self.uncontended,
+            "interrupt_sweep": serde.dump_map(self.interrupt_sweep),
+            "polling_baseline_us": self.polling_baseline_us,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "AblationResult":
+        return cls(
+            rows=[tuple(r) for r in payload["rows"]],
+            contended=payload["contended"],
+            uncontended=payload["uncontended"],
+            interrupt_sweep=serde.load_map(payload["interrupt_sweep"]),
+            polling_baseline_us=payload["polling_baseline_us"],
+        )
 
 
 def run(*, iters: int = 30) -> AblationResult:

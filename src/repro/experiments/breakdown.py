@@ -7,6 +7,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.experiments import serde
 from repro.util.tables import TextTable
 from repro.util.units import us_to_s
 
@@ -34,6 +35,13 @@ class BreakdownRow:
         if total <= 0:
             return {c: 0.0 for c in _COMPONENTS}
         return {c: folded.get(c, 0.0) / total for c in _COMPONENTS}
+
+    def to_json(self) -> dict:
+        return serde.dump_fields(self)
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "BreakdownRow":
+        return serde.load_fields(cls, payload)
 
 
 def render_rows(title: str, rows: list[BreakdownRow]) -> str:

@@ -1,29 +1,41 @@
-"""Command-line entry point: ``repro-experiments <artifact>``.
+"""Command-line entry point: ``repro-experiments <command> ...``.
 
-Also usable as ``python -m repro.experiments.cli``.
+Subcommands::
+
+    repro-experiments list                      # every artifact + its schema
+    repro-experiments run <artifact|all> [...]  # regenerate artifacts
+    repro-experiments sweep <artifact> --param k=v1,v2 [...]   # grids
+
+Also usable as ``python -m repro.experiments.cli``.  The pre-subcommand
+form (``repro-experiments table4 --scenario 0-Word``) still works: a
+leading artifact name is mapped onto ``run``.
+
+Everything dispatches through the experiment registry
+(:mod:`repro.experiments.registry`), so parameters are validated
+uniformly per artifact — there is no CLI-side special-casing of any
+experiment.  ``--jobs N`` shards work across a spawn process pool and
+merges deterministically (stdout is byte-identical to a serial run;
+progress and timing stream to stderr).  Results are cached on disk by
+(package version, artifact, params) — see
+:mod:`repro.experiments.cache` — so a repeated invocation renders from
+the cache without re-running any simulation; ``--no-cache`` bypasses,
+``--refresh`` recomputes and overwrites.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
-import time
+from typing import Any
+
+from repro.experiments import registry
+from repro.experiments.registry import ExperimentParamError
+
+_COMMANDS = ("run", "list", "sweep")
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="repro-experiments",
-        description="Regenerate the tables and figures of 'Evaluating the "
-        "Performance Limitations of MPMD Communication' (SC'97).",
-    )
-    parser.add_argument(
-        "artifact",
-        choices=[
-            "table1", "table4", "figure5", "figure6", "nexus", "ablations",
-            "faults", "scaling", "scorecard", "trace", "metrics", "all",
-        ],
-        help="which paper artifact to regenerate",
-    )
+def _add_common_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--full",
         action="store_true",
@@ -31,117 +43,248 @@ def main(argv: list[str] | None = None) -> int:
         "reduced same-shape defaults",
     )
     parser.add_argument("--iters", type=int, default=50, help="micro-benchmark iterations")
+    parser.add_argument("--seed", type=int, default=None, help="workload-generation seed")
     parser.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="K=V",
+        help="artifact parameter override (repeatable); validated against "
+        "the artifact's schema — see `repro-experiments list`",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run up to N experiments in parallel worker processes "
+        "(0 = one per CPU); output is byte-identical to --jobs 1",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="neither read nor write the result cache"
+    )
+    parser.add_argument(
+        "--refresh", action="store_true", help="recompute and overwrite cached results"
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="result-cache directory (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro-experiments)",
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the tables and figures of 'Evaluating the "
+        "Performance Limitations of MPMD Communication' (SC'97).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list every artifact and its parameters")
+
+    run = sub.add_parser("run", help="regenerate one artifact (or 'all')")
+    run.add_argument(
+        "artifact",
+        choices=[*registry.ARTIFACT_NAMES, "all"],
+        help="which paper artifact to regenerate",
+    )
+    _add_common_flags(run)
+    run.add_argument(
         "--scenario",
         action="append",
         metavar="NAME",
-        help="table4 only: measure just this micro-benchmark row (repeatable; "
-        "a Table 4 name like '0-Word', or 'am-rtt' / 'mpl-rtt' for the "
-        "raw-layer references)",
+        help="shorthand for --param scenarios=...: measure just this "
+        "micro-benchmark row (repeatable; a Table 4 name like '0-Word', "
+        "or 'am-rtt' / 'mpl-rtt' for the raw-layer references)",
     )
-    parser.add_argument(
+    run.add_argument(
         "--out",
         metavar="DIR",
         help="also write rendered artifacts (and CSVs) to this directory; "
         "for 'trace', a path ending in .json writes the Perfetto JSON "
         "directly to that file",
     )
-    args = parser.parse_args(argv)
 
-    if args.scenario and args.artifact != "table4":
-        parser.error("--scenario only applies to the table4 artifact")
+    sweep = sub.add_parser(
+        "sweep", help="run a parameter grid over one artifact"
+    )
+    sweep.add_argument(
+        "artifact",
+        choices=list(registry.ARTIFACT_NAMES),
+        help="which artifact to sweep",
+    )
+    _add_common_flags(sweep)
+    sweep.add_argument(
+        "--axis",
+        action="append",
+        default=[],
+        metavar="K=V1,V2",
+        help="sweep axis (repeatable); every --param with multiple values "
+        "is also an axis",
+    )
+    sweep.add_argument(
+        "--csv", metavar="PATH", help="also write the merged sweep CSV here"
+    )
+    return parser
+
+
+def _make_cache(args: argparse.Namespace):
+    if args.no_cache:
+        return None
+    from repro.experiments.cache import ResultCache
+
+    return ResultCache(args.cache_dir)
+
+
+def _jobs(args: argparse.Namespace) -> int:
+    return (os.cpu_count() or 1) if args.jobs == 0 else args.jobs
+
+
+def _overrides(spec, args: argparse.Namespace) -> dict[str, Any]:
+    """Standard flags + explicit --param overrides for one spec."""
+    from repro.experiments.report import standard_overrides
+
+    overrides = standard_overrides(
+        spec,
+        quick=False if args.full else None,
+        iters=args.iters,
+        seed=args.seed,
+    )
+    for item in args.param:
+        if "=" not in item:
+            raise ExperimentParamError(f"--param expects K=V, got {item!r}")
+        key, _, value = item.partition("=")
+        overrides[key] = spec.param(key).parse(value)
+    return overrides
+
+
+def _cmd_list() -> int:
+    from repro.util.tables import TextTable
+
+    t = TextTable(
+        ["artifact", "parameters", "cached", "title"],
+        title="Experiments — `run <artifact>`, `sweep <artifact> --axis k=v1,v2`",
+    )
+    for spec in registry.specs():
+        schema = ", ".join(
+            f"{p.name}:{p.kind}={p.default}" for p in spec.params
+        ) or "-"
+        t.add_row([spec.name, schema, "yes" if spec.cacheable else "no", spec.title])
+    print(t.render())
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    from repro.experiments.runner import Task, run_tasks
+
+    names = list(registry.ARTIFACT_NAMES) if args.artifact == "all" else [args.artifact]
     if args.scenario:
-        from repro.experiments.table4 import scenario_names
+        args.param = args.param + ["scenarios=" + ",".join(args.scenario)]
 
-        known = set(scenario_names())
-        unknown = [s for s in args.scenario if s not in known]
-        if unknown:
-            parser.error(
-                f"unknown scenario(s) {', '.join(unknown)}; "
-                f"choose from: {', '.join(scenario_names())}"
-            )
+    try:
+        tasks = [
+            Task(spec, spec.validate(_overrides(spec, args)))
+            for spec in (registry.get(n) for n in names)
+        ]
+    except ExperimentParamError as exc:
+        parser.error(str(exc))
 
+    cache = _make_cache(args)
+
+    # `trace --out x.json`: write the Perfetto JSON straight to the named
+    # file (open it at ui.perfetto.dev)
     if args.artifact == "trace" and args.out and args.out.endswith(".json"):
-        # `repro-experiments trace --out trace.json`: write the Perfetto
-        # JSON straight to the named file (open it at ui.perfetto.dev)
-        from repro.experiments import obs_trace
-
-        result = obs_trace.run(quick=not args.full)
-        print(result.render())
+        result = tasks[0].spec.run_fn()(**tasks[0].params)
+        print(tasks[0].spec.render(result))
         print(f"wrote {result.write(args.out)}")
         return 0
 
     if args.out:
-        from repro.experiments.report import ARTIFACTS, write_all
+        from repro.experiments.report import write_all
 
-        mapping = {"nexus": "nexus_compare"}
-        wanted = (
-            ARTIFACTS
-            if args.artifact == "all"
-            else (mapping.get(args.artifact, args.artifact),)
-        )
+        stems = [registry.get(n).file_stem for n in names]
         paths = write_all(
-            args.out, quick=not args.full, iters=args.iters, artifacts=wanted
+            args.out,
+            quick=not args.full,
+            iters=args.iters,
+            artifacts=tuple(stems),
+            jobs=_jobs(args),
+            cache=cache,
+            refresh=args.refresh,
         )
         for path in paths:
             print(f"wrote {path}")
         return 0
 
-    chosen = (
-        ["table1", "table4", "figure5", "figure6", "nexus", "ablations",
-         "faults", "scaling", "scorecard", "trace", "metrics"]
-        if args.artifact == "all"
-        else [args.artifact]
+    outcomes = run_tasks(
+        tasks, jobs=_jobs(args), cache=cache, refresh=args.refresh
     )
-    for artifact in chosen:
-        t0 = time.time()
-        print(f"=== {artifact} ===")
-        if artifact == "table1":
-            from repro.experiments import table1
-
-            print(table1.run().render())
-        elif artifact == "table4":
-            from repro.experiments import table4
-
-            print(table4.run(iters=args.iters, scenarios=args.scenario).render())
-        elif artifact == "figure5":
-            from repro.experiments import figure5
-
-            print(figure5.run(quick=not args.full).render())
-        elif artifact == "figure6":
-            from repro.experiments import figure6
-
-            print(figure6.run(quick=not args.full).render())
-        elif artifact == "nexus":
-            from repro.experiments import nexus_compare
-
-            print(nexus_compare.run(quick=not args.full).render())
-        elif artifact == "ablations":
-            from repro.experiments import ablations
-
-            print(ablations.run(iters=args.iters).render())
-        elif artifact == "faults":
-            from repro.experiments import faults
-
-            print(faults.run(iters=args.iters).render())
-        elif artifact == "scaling":
-            from repro.experiments import scaling
-
-            print(scaling.run().render())
-        elif artifact == "scorecard":
-            from repro.experiments import scorecard
-
-            print(scorecard.run(quick=not args.full, iters=args.iters).render())
-        elif artifact == "trace":
-            from repro.experiments import obs_trace
-
-            print(obs_trace.run(quick=not args.full).render())
-        elif artifact == "metrics":
-            from repro.experiments import obs_metrics
-
-            print(obs_metrics.run(iters=args.iters, quick=not args.full).render())
-        print(f"[{artifact} done in {time.time() - t0:.1f}s wall]\n")
+    for outcome in outcomes:
+        print(f"=== {outcome.task.spec.name} ===")
+        print(outcome.task.spec.render(outcome.result))
+        print()
     return 0
+
+
+def _cmd_sweep(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    from repro.experiments.runner import run_tasks
+    from repro.experiments.sweep import grid_tasks, render_sweep, sweep_csv
+
+    spec = registry.get(args.artifact)
+    try:
+        axes: dict[str, list[Any]] = {}
+        fixed_params: list[str] = []
+        for item in args.axis + args.param:
+            if "=" not in item:
+                raise ExperimentParamError(f"expected K=V1,V2,..., got {item!r}")
+            key, _, value = item.partition("=")
+            values = spec.param(key).parse_axis(value)
+            if len(values) > 1 or item in args.axis:
+                axes[key] = values
+            else:
+                fixed_params.append(item)
+        args.param = fixed_params
+        fixed = _overrides(spec, args)
+        if not axes:
+            raise ExperimentParamError(
+                "a sweep needs at least one multi-valued --axis/--param"
+            )
+        tasks = grid_tasks(spec, axes, fixed)
+    except ExperimentParamError as exc:
+        parser.error(str(exc))
+
+    outcomes = run_tasks(
+        tasks, jobs=_jobs(args), cache=_make_cache(args), refresh=args.refresh
+    )
+    print(render_sweep(spec, axes, outcomes))
+    text = sweep_csv(axes, outcomes)
+    print()
+    print(text, end="")
+    if args.csv:
+        from pathlib import Path
+
+        path = Path(args.csv)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text, encoding="utf-8")
+        print(f"wrote {path}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # back-compat shim: `repro-experiments table4 --scenario ...` -> `run ...`
+    if argv and argv[0] not in _COMMANDS and not argv[0].startswith("-"):
+        argv.insert(0, "run")
+
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args, parser)
+    return _cmd_sweep(args, parser)
 
 
 if __name__ == "__main__":  # pragma: no cover

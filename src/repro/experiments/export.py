@@ -1,26 +1,46 @@
-"""CSV export of the experiment results (for external plotting).
+"""CSV / JSON export of the experiment results (for external plotting).
 
-Every result type of the harness renders to a text table for humans;
-these helpers emit machine-readable CSV with identical content, so the
-figures can be re-plotted without re-running the simulations.
+Every result type renders to a text table for humans and implements the
+shared ``to_json()/from_json()`` contract (see
+:mod:`repro.experiments.serde`) for machines.  The CSV helpers here are
+*views over that one serialized form*: each accepts either a live result
+or its ``to_json()`` payload (e.g. read back from the result cache), so
+the figures can be re-plotted without re-running the simulations and
+without a second, parallel serializer drifting out of sync.
 """
 
 from __future__ import annotations
 
 import csv
 import io
+import json
+from typing import Any
 
 from repro.experiments.figure5 import Figure5Result
 from repro.experiments.figure6 import Figure6Result
 from repro.experiments.table4 import Table4Result
 
-__all__ = ["table4_csv", "figure5_csv", "figure6_csv"]
+__all__ = ["table4_csv", "figure5_csv", "figure6_csv", "result_json"]
 
 _COMPONENTS = ("cpu", "net", "thread mgmt", "thread sync", "runtime")
 
 
-def table4_csv(result: Table4Result) -> str:
+def result_json(result: Any) -> str:
+    """The canonical machine-readable form: the ``to_json()`` payload as
+    indented JSON text."""
+    return json.dumps(result.to_json(), indent=2) + "\n"
+
+
+def _coerce(result: Any, cls: type) -> Any:
+    """Accept a live result or its ``to_json()`` payload."""
+    if isinstance(result, dict):
+        return cls.from_json(result)
+    return result
+
+
+def table4_csv(result: Table4Result | dict) -> str:
     """Table 4 as CSV: one row per benchmark per language."""
+    result = _coerce(result, Table4Result)
     out = io.StringIO()
     w = csv.writer(out)
     w.writerow(
@@ -55,8 +75,9 @@ def _breakdown_rows(writer, label_parts, row):
     )
 
 
-def figure5_csv(result: Figure5Result) -> str:
+def figure5_csv(result: Figure5Result | dict) -> str:
     """Figure 5 as CSV: one row per (version, pct, language) bar."""
+    result = _coerce(result, Figure5Result)
     out = io.StringIO()
     w = csv.writer(out)
     w.writerow(
@@ -68,8 +89,9 @@ def figure5_csv(result: Figure5Result) -> str:
     return out.getvalue()
 
 
-def figure6_csv(result: Figure6Result) -> str:
+def figure6_csv(result: Figure6Result | dict) -> str:
     """Figure 6 as CSV: one row per (app-label, language) bar."""
+    result = _coerce(result, Figure6Result)
     out = io.StringIO()
     w = csv.writer(out)
     w.writerow(

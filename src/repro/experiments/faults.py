@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 
 from repro.am import RetryPolicy
 from repro.apps.em3d import Em3dGraph, Em3dParams, run_splitc_em3d
+from repro.experiments import serde
 from repro.experiments.microbench import am_base_rtt
 from repro.machine.faults import FaultPlan
 from repro.util.tables import TextTable
@@ -79,6 +80,31 @@ class FaultAblationResult:
             "the lossy rows add retransmit stalls on top."
         )
         return t.render() + note
+
+    def to_json(self) -> dict:
+        def cells(d: dict) -> list:
+            return serde.dump_map(
+                {drop: serde.dump_map(by_seed) for drop, by_seed in d.items()}
+            )
+
+        return {
+            "rtt_cells": cells(self.rtt_cells),
+            "em3d_cells": cells(self.em3d_cells),
+            "clean_rtt_us": self.clean_rtt_us,
+            "clean_em3d_us": self.clean_em3d_us,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "FaultAblationResult":
+        def cells(pairs: list) -> dict:
+            return serde.load_map(pairs, serde.load_map)
+
+        return cls(
+            rtt_cells=cells(payload["rtt_cells"]),
+            em3d_cells=cells(payload["em3d_cells"]),
+            clean_rtt_us=payload["clean_rtt_us"],
+            clean_em3d_us=payload["clean_em3d_us"],
+        )
 
 
 def _em3d_graph(seed: int) -> Em3dGraph:

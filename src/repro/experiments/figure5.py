@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.apps.em3d import Em3dGraph, Em3dParams, run_ccpp_em3d, run_splitc_em3d
+from repro.experiments import serde
 from repro.experiments.breakdown import BreakdownRow, render_rows
 
 __all__ = ["Figure5Result", "run"]
@@ -44,6 +45,19 @@ class Figure5Result:
         ]
         return render_rows(
             "Figure 5 — EM3D per-edge breakdown (normalized vs Split-C)", ordered
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "rows": serde.dump_map(self.rows, lambda r: r.to_json()),
+            "per_edge_us": serde.dump_map(self.per_edge_us),
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "Figure5Result":
+        return cls(
+            rows=serde.load_map(payload["rows"], BreakdownRow.from_json),
+            per_edge_us=serde.load_map(payload["per_edge_us"]),
         )
 
 

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 
 from repro.apps.lu import LuParams, LuWorkload, run_ccpp_lu, run_splitc_lu
 from repro.apps.water import WaterParams, WaterSystem, run_ccpp_water, run_splitc_water
+from repro.experiments import serde
 from repro.experiments.breakdown import BreakdownRow, render_rows
 
 __all__ = ["Figure6Result", "run"]
@@ -41,6 +42,13 @@ class Figure6Result:
         return render_rows(
             "Figure 6 — Water and LU breakdown (normalized vs Split-C)", ordered
         )
+
+    def to_json(self) -> dict:
+        return {"rows": serde.dump_map(self.rows, lambda r: r.to_json())}
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "Figure6Result":
+        return cls(rows=serde.load_map(payload["rows"], BreakdownRow.from_json))
 
 
 def _add(result: Figure6Result, label: str, sc, cc) -> None:

@@ -21,6 +21,7 @@ from typing import Any
 import numpy as np
 
 from repro.am import install_am
+from repro.experiments import serde
 from repro.ccpp import (
     CCContext,
     CCppRuntime,
@@ -80,6 +81,13 @@ class MicroRow:
             self.creates * factor,
             self.syncs * factor,
         )
+
+    def to_json(self) -> dict:
+        return serde.dump_fields(self)
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "MicroRow":
+        return serde.load_fields(cls, payload)
 
 
 class _Recorder:

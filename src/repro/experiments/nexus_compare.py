@@ -57,6 +57,13 @@ class NexusCompareResult:
             )
         return t.render()
 
+    def to_json(self) -> dict:
+        return {"tham_us": dict(self.tham_us), "nexus_us": dict(self.nexus_us)}
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "NexusCompareResult":
+        return cls(tham_us=payload["tham_us"], nexus_us=payload["nexus_us"])
+
 
 def run(*, quick: bool = True, seed: int = 1997) -> NexusCompareResult:
     """Regenerate the ThAM/Nexus comparison."""

@@ -91,6 +91,19 @@ class MetricsReport:
             rows.append(f"gauge,{name},,,,,,,{self.gauges[name]:g}")
         return "\n".join(rows) + "\n"
 
+    def to_json(self) -> dict:
+        return {
+            "sections": {
+                w: {n: dict(snap) for n, snap in hists.items()}
+                for w, hists in self.sections.items()
+            },
+            "gauges": dict(self.gauges),
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "MetricsReport":
+        return cls(sections=payload["sections"], gauges=payload["gauges"])
+
 
 def _snapshot_all(metrics: Metrics) -> dict[str, dict]:
     return {name: h.snapshot() for name, h in metrics.histograms().items()}

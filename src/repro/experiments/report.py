@@ -1,32 +1,27 @@
 """One-call report generation: every artifact to a directory.
 
-``write_all(out_dir)`` regenerates each table/figure, writes the
-human-readable render (``.txt``) and, where defined, the machine-readable
-CSV (``.csv``).  Used by ``repro-experiments ... --out DIR`` and handy
-for archiving a full reproduction run.
+``write_all(out_dir)`` regenerates each table/figure through the
+experiment registry and the process-pool runner — so it takes the same
+``jobs``/``cache`` controls as the CLI — and writes the human-readable
+render (``.txt``) plus, where defined, the machine-readable CSV
+(``.csv``) and the Perfetto trace JSON.  Used by
+``repro-experiments ... --out DIR`` and handy for archiving a full
+reproduction run.  File contents depend only on the results (never on
+scheduling), so a ``jobs=4`` report is byte-identical to a serial one.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
+from typing import Any, Callable
 
-from repro.experiments import (
-    ablations,
-    export,
-    faults,
-    figure5,
-    figure6,
-    nexus_compare,
-    obs_metrics,
-    obs_trace,
-    scaling,
-    scorecard,
-    table1,
-    table4,
-)
+from repro.experiments import export, registry
+from repro.experiments.cache import ResultCache
+from repro.experiments.runner import Task, run_tasks
 
-__all__ = ["write_all", "ARTIFACTS"]
+__all__ = ["write_all", "ARTIFACTS", "standard_overrides"]
 
+#: report names in canonical order (the historical file stems)
 ARTIFACTS = (
     "table1",
     "table4",
@@ -41,6 +36,39 @@ ARTIFACTS = (
     "trace",
 )
 
+#: report/CLI aliases -> registry names
+_ALIASES = {"nexus_compare": "nexus"}
+
+
+def standard_overrides(
+    spec: registry.ExperimentSpec,
+    *,
+    quick: bool | None = None,
+    iters: int | None = None,
+    seed: int | None = None,
+) -> dict[str, Any]:
+    """The standard parameters, filtered to what ``spec`` declares."""
+    overrides: dict[str, Any] = {}
+    for name, value in (("quick", quick), ("iters", iters), ("seed", seed)):
+        if value is not None and spec.has_param(name):
+            overrides[name] = value
+    return overrides
+
+
+def _write_text(out: Path, name: str, text: str, written: list[Path]) -> None:
+    path = out / name
+    path.write_text(text if text.endswith("\n") else text + "\n", encoding="utf-8")
+    written.append(path)
+
+
+def _csv_writers() -> dict[str, Callable[[Any], str]]:
+    return {
+        "table4": export.table4_csv,
+        "figure5": export.figure5_csv,
+        "figure6": export.figure6_csv,
+        "metrics": lambda result: result.csv(),
+    }
+
 
 def write_all(
     out_dir: str | Path,
@@ -48,47 +76,32 @@ def write_all(
     quick: bool = True,
     iters: int = 50,
     artifacts: tuple[str, ...] = ARTIFACTS,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+    refresh: bool = False,
 ) -> list[Path]:
     """Regenerate ``artifacts`` into ``out_dir``; returns written paths."""
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
+
+    specs = [registry.get(_ALIASES.get(name, name)) for name in artifacts]
+    tasks = [
+        Task(spec, spec.validate(standard_overrides(spec, quick=quick, iters=iters)))
+        for spec in specs
+    ]
+    outcomes = run_tasks(tasks, jobs=jobs, cache=cache, refresh=refresh)
+
+    csv_writers = _csv_writers()
     written: list[Path] = []
-
-    def _write(name: str, text: str) -> None:
-        path = out / name
-        path.write_text(text if text.endswith("\n") else text + "\n", encoding="utf-8")
-        written.append(path)
-
-    if "table1" in artifacts:
-        _write("table1.txt", table1.run().render())
-    if "table4" in artifacts:
-        result = table4.run(iters=iters)
-        _write("table4.txt", result.render())
-        _write("table4.csv", export.table4_csv(result))
-    if "figure5" in artifacts:
-        result = figure5.run(quick=quick)
-        _write("figure5.txt", result.render())
-        _write("figure5.csv", export.figure5_csv(result))
-    if "figure6" in artifacts:
-        result = figure6.run(quick=quick)
-        _write("figure6.txt", result.render())
-        _write("figure6.csv", export.figure6_csv(result))
-    if "nexus_compare" in artifacts:
-        _write("nexus_compare.txt", nexus_compare.run(quick=quick).render())
-    if "ablations" in artifacts:
-        _write("ablations.txt", ablations.run(iters=iters).render())
-    if "faults" in artifacts:
-        _write("faults.txt", faults.run(iters=iters).render())
-    if "scaling" in artifacts:
-        _write("scaling.txt", scaling.run().render())
-    if "scorecard" in artifacts:
-        _write("scorecard.txt", scorecard.run(quick=quick, iters=iters).render())
-    if "metrics" in artifacts:
-        result = obs_metrics.run(iters=iters, quick=quick)
-        _write("metrics.txt", result.render())
-        _write("metrics.csv", result.csv())
-    if "trace" in artifacts:
-        result = obs_trace.run(quick=quick)
-        _write("trace_summary.txt", result.render())
-        written.append(result.write(out / "trace.json"))
+    for outcome in outcomes:
+        spec, result = outcome.task.spec, outcome.result
+        if spec.name == "trace":
+            _write_text(out, "trace_summary.txt", spec.render(result), written)
+            written.append(result.write(out / "trace.json"))
+            continue
+        _write_text(out, f"{spec.file_stem}.txt", spec.render(result), written)
+        if spec.name in csv_writers:
+            _write_text(
+                out, f"{spec.file_stem}.csv", csv_writers[spec.name](result), written
+            )
     return written

@@ -21,6 +21,7 @@ from typing import Any
 import numpy as np
 
 from repro.ccpp import CCppRuntime, ProcessorObject, processor_class, remote
+from repro.experiments import serde
 from repro.machine.cluster import Cluster
 from repro.machine.costs import SP2_COSTS, CostModel
 from repro.marshal import Marshallable
@@ -75,6 +76,13 @@ class ScalingPoint:
     def ratio(self) -> float:
         return self.cc_us / self.sc_us
 
+    def to_json(self) -> dict:
+        return serde.dump_fields(self)
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "ScalingPoint":
+        return serde.load_fields(cls, payload)
+
 
 @dataclass(slots=True)
 class ScalingResult:
@@ -100,6 +108,13 @@ class ScalingResult:
                 ]
             )
         return t.render()
+
+    def to_json(self) -> dict:
+        return {"points": [p.to_json() for p in self.points]}
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "ScalingResult":
+        return cls(points=[ScalingPoint.from_json(p) for p in payload["points"]])
 
 
 def _measure_cc(sizes: tuple[int, ...], costs: CostModel) -> dict[int, float]:

@@ -17,6 +17,7 @@ from repro.experiments import (
     nexus_compare,
     paper,
     scaling,
+    serde,
     table4,
 )
 from repro.util.tables import TextTable
@@ -32,6 +33,13 @@ class Check:
     paper_value: str
     measured: str
     ok: bool
+
+    def to_json(self) -> dict:
+        return serde.dump_fields(self)
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "Check":
+        return serde.load_fields(cls, payload)
 
 
 @dataclass(slots=True)
@@ -61,6 +69,13 @@ class Scorecard:
             t.render()
             + f"\n\n{self.passed}/{len(self.checks)} claims reproduced within band"
         )
+
+    def to_json(self) -> dict:
+        return {"checks": [c.to_json() for c in self.checks]}
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "Scorecard":
+        return cls(checks=[Check.from_json(c) for c in payload["checks"]])
 
 
 def run(*, quick: bool = True, iters: int = 30) -> Scorecard:

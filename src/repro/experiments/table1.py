@@ -23,6 +23,7 @@ import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.experiments import serde
 from repro.util.tables import TextTable
 
 __all__ = ["CodeSize", "Table1Result", "count_file", "count_package", "run"]
@@ -50,6 +51,13 @@ class CodeSize:
         self.total_lines += other.total_lines
         self.code_lines += other.code_lines
         self.files += other.files
+
+    def to_json(self) -> dict:
+        return serde.dump_fields(self)
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "CodeSize":
+        return serde.load_fields(cls, payload)
 
 
 def count_file(path: Path) -> CodeSize:
@@ -123,6 +131,15 @@ class Table1Result:
         lines.append("   CC++ engine with a heavyweight cost profile, so the reduction")
         lines.append("   is quoted, not re-measured)")
         return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        return {"sizes": {n: s.to_json() for n, s in self.sizes.items()}}
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "Table1Result":
+        return cls(
+            sizes={n: CodeSize.from_json(s) for n, s in payload["sizes"].items()}
+        )
 
 
 def run(package_root: Path | None = None) -> Table1Result:

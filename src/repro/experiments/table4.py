@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.experiments import paper
+from repro.experiments import paper, serde
 from repro.experiments.microbench import (
     CC_BENCHMARKS,
     SC_BENCHMARKS,
@@ -84,6 +84,23 @@ class Table4Result:
                 + ["-"] * 8
             )
         return t.render()
+
+    def to_json(self) -> dict:
+        return {
+            "cc": {name: row.to_json() for name, row in self.cc.items()},
+            "sc": {name: row.to_json() for name, row in self.sc.items()},
+            "am_rtt_us": self.am_rtt_us,
+            "mpl_rtt_us": self.mpl_rtt_us,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "Table4Result":
+        return cls(
+            cc={n: MicroRow.from_json(r) for n, r in payload["cc"].items()},
+            sc={n: MicroRow.from_json(r) for n, r in payload["sc"].items()},
+            am_rtt_us=payload["am_rtt_us"],
+            mpl_rtt_us=payload["mpl_rtt_us"],
+        )
 
 
 #: names accepted by ``run(scenarios=...)`` beyond the Table 4 rows
