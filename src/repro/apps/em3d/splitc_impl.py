@@ -19,6 +19,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.apps.em3d.batched import BatchedEm3dKernel
 from repro.apps.em3d.graph import Em3dGraph
 from repro.apps.em3d.layout import VERSIONS, Em3dLayout, PhasePlan
 from repro.errors import ReproError
@@ -58,6 +59,7 @@ def run_splitc_em3d(
     reliable: bool = False,
     retry: Any = None,
     metrics: Any | None = None,
+    batched: bool | None = None,
 ) -> Em3dRunResult:
     """Run one Split-C EM3D configuration and measure it.
 
@@ -66,6 +68,12 @@ def run_splitc_em3d(
     and results exactly.  ``faults``/``reliable``/``retry`` run the same
     workload over a lossy fabric with the reliable AM sublayer (the
     drop-rate ablation in :mod:`repro.experiments.faults`).
+
+    ``batched`` selects the batched execution tier (None = the
+    ``REPRO_BATCHED`` default): fast AM handlers plus, for the base
+    version, the flattened compute kernel of
+    :mod:`repro.apps.em3d.batched` — bit-identical to the reference
+    path, just cheaper per event.
     """
     if version not in VERSIONS:
         raise ReproError(f"unknown EM3D version {version!r}; pick from {VERSIONS}")
@@ -79,7 +87,20 @@ def run_splitc_em3d(
         faults=faults,
         metrics=metrics,
     )
-    rt = SplitCRuntime(cluster, reliable=reliable, retry=retry)
+    rt = SplitCRuntime(cluster, reliable=reliable, retry=retry, batched=batched)
+    # The kernel reorders observation-free bookkeeping inside fused
+    # charge windows, so it stands down while spans or metrics record.
+    use_kernel = (
+        rt.batched
+        and version == "base"
+        and metrics is None
+        and (tracer is None or not getattr(tracer, "wants_spans", False))
+    )
+    kernel = (
+        BatchedEm3dKernel(layout, VAL, costs.cpu.em3d_per_neighbor)
+        if use_kernel
+        else None
+    )
 
     for proc in range(p.n_procs):
         mem = rt.memory(proc)
@@ -185,14 +206,29 @@ def run_splitc_em3d(
                 _, off = graph.value_slot(n.gid)
                 mem[off] = graph.initial[n.gid]
         yield from proc.barrier()
+        # The kernel path inlines one_step so every resume of the ~10
+        # yields per remote read walks two generator frames, not three
+        # (the yield-from chain is traversed on each send).
         for _ in range(warmup_steps):
-            yield from one_step(proc)
+            if kernel is None:
+                yield from one_step(proc)
+            else:
+                yield from kernel.phase(proc, 0)
+                yield from proc.barrier()
+                yield from kernel.phase(proc, 1)
+                yield from proc.barrier()
         if proc.my_node == 0:
             marks["t0"] = cluster.sim.now
             marks["acct0"] = [n.account.snapshot() for n in cluster.nodes]
             marks["cnt0"] = cluster.aggregate_counters().snapshot()
         for _ in range(steps):
-            yield from one_step(proc)
+            if kernel is None:
+                yield from one_step(proc)
+            else:
+                yield from kernel.phase(proc, 0)
+                yield from proc.barrier()
+                yield from kernel.phase(proc, 1)
+                yield from proc.barrier()
         if proc.my_node == 0:
             marks["t1"] = cluster.sim.now
 

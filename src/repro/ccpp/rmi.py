@@ -476,7 +476,7 @@ class RMIEngine:
 
     def _await_box(self, ep: AMEndpoint, box: RMIBox) -> Generator[Any, Any, None]:
         if box.mode is WaitMode.SPIN:
-            yield from ep.poll_until(lambda: box.done)
+            yield from ep.poll_until_done(box)
             return
         assert box.lock is not None and box.cond is not None
         yield from box.lock.acquire()

@@ -61,12 +61,20 @@ class Packet:
     seq: int = -1
     ack: int = -1
     attempt: int = 0
+    # memoized describe() — every field it reads is fixed at construction
+    # (retransmits are fresh packets), and traced runs describe each
+    # packet at least twice (send + deliver)
+    _descr: str | None = None
 
     def describe(self) -> str:
-        rel = f" seq={self.seq}" if self.seq >= 0 else ""
-        if self.attempt:
-            rel += f" retx={self.attempt}"
-        return f"{self.kind}#{self.pid} {self.src}->{self.dst} ({self.nbytes}B){rel}"
+        d = self._descr
+        if d is None:
+            rel = f" seq={self.seq}" if self.seq >= 0 else ""
+            if self.attempt:
+                rel += f" retx={self.attempt}"
+            d = f"{self.kind}#{self.pid} {self.src}->{self.dst} ({self.nbytes}B){rel}"
+            self._descr = d
+        return d
 
 
 class Network:
@@ -144,7 +152,7 @@ class Network:
         wire = net_costs.wire_latency + nbytes * (
             net_costs.per_byte_bulk if bulk else net_costs.per_byte
         )
-        now = self.sim.now
+        now = self.sim._now
         packet.send_time = now
         packet.arrival_time = now + wire
         self.packets_sent += 1
@@ -156,7 +164,19 @@ class Network:
             self._trace(now, packet.src, "send", packet.describe())
 
         faults = self.faults
-        if faults is not None:
+        if faults is None:
+            # inlined _schedule_delivery — one closure and one schedule
+            # per message on the common fault-free path
+            self._in_flight[packet.pid] = packet
+
+            def _arrive() -> None:
+                del self._in_flight[packet.pid]
+                self.packets_delivered += 1
+                dst.deliver(packet)
+
+            self.sim.schedule(wire, _arrive)
+            return
+        else:
             verdict = faults.decide(
                 packet.src, packet.dst, packet.kind, now, packet.arrival_time
             )

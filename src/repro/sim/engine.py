@@ -45,6 +45,15 @@ results):
 * **split run loops** — a bare ``run()`` takes a lean loop with no
   ``until``/``max_events`` checks and every hot name bound locally; bounded
   runs take the general loop.  Both consume the queues identically.
+* **epoch batching** — within one virtual instant the lean loop fires
+  events in flat batches instead of re-entering the full two-queue merge
+  per event.  Once the heap's head lies strictly in the future, every
+  zero-delay lane entry (including ones appended *during* the drain)
+  fires back-to-back with no comparisons at all; and when several heap
+  entries share the same timestamp they are popped and fired in one
+  run.  Both rest on the same invariant: a callback can only create
+  entries with a **higher** sequence number than everything already due,
+  so nothing it schedules can preempt the rest of the current epoch.
 """
 
 from __future__ import annotations
@@ -53,9 +62,23 @@ from collections import deque
 from collections.abc import Callable
 from heapq import heapify, heappop, heappush
 
+import os
+
 from repro.errors import SimulationError
 
-__all__ = ["Event", "Simulator", "Watchdog"]
+__all__ = ["Event", "Simulator", "Watchdog", "batched_default"]
+
+
+def batched_default() -> bool:
+    """Whether the batched execution tier is enabled by default.
+
+    Controlled by the ``REPRO_BATCHED`` environment variable: unset or
+    anything but ``"0"`` enables it (the tier is bit-identical to the
+    reference core, so on is the safe default); ``REPRO_BATCHED=0``
+    forces every consumer that defaults through here back onto the
+    reference paths — this is what the CI identity job flips.
+    """
+    return os.environ.get("REPRO_BATCHED", "1") != "0"
 
 _INF = float("inf")
 
@@ -264,6 +287,46 @@ class Simulator:
             raise SimulationError(f"cannot schedule at t={time}")
         raise SimulationError(f"cannot schedule at t={time} (now is t={now})")
 
+    def schedule_many(self, delay: float, fns) -> None:
+        """Schedule every callable in ``fns`` to run ``delay`` µs from now.
+
+        Bit-identical to N individual :meth:`schedule` calls (each entry
+        consumes its own sequence number, in iteration order), but the
+        delay is validated once and the hot names are bound once, so
+        producers can enqueue a whole batch in one call.  The delay is
+        validated even for an empty batch — a NaN/inf/negative delay is a
+        caller bug regardless of batch size and must not pass silently.
+        """
+        if _INF > delay > 0.0:
+            seq = self._seq
+            t = self._now + delay
+            heap = self._heap
+            push = heappush
+            for fn in fns:
+                seq += 1
+                push(heap, [t, seq, fn])
+            self._seq = seq
+            return
+        if delay == 0.0:
+            seq = self._seq
+            now = self._now
+            if self._fast_path:
+                append = self._immediate.append
+                for fn in fns:
+                    seq += 1
+                    append([now, seq, fn])
+            else:
+                heap = self._heap
+                push = heappush
+                for fn in fns:
+                    seq += 1
+                    push(heap, [now, seq, fn])
+            self._seq = seq
+            return
+        if delay != delay or delay == _INF:
+            raise SimulationError(f"cannot schedule a {delay} us delay")
+        raise SimulationError(f"cannot schedule {delay} us in the past")
+
     def schedule_event(self, delay: float, fn: Callable[[], None]) -> Event:
         """Like :meth:`schedule`, but returns a cancellable :class:`Event`.
 
@@ -345,6 +408,44 @@ class Simulator:
         self._seq += 1
         self._events_fired += 1
         self._inline_advances += 1
+        self._now = target
+        return True
+
+    def advance_inline_run(self, target: float, n: int) -> bool:
+        """Bulk form of :meth:`advance_inline` for a run of ``n`` charges
+        ending at absolute time ``target`` (the caller accumulates the
+        per-charge targets stepwise so float rounding matches the
+        one-at-a-time path bit for bit).
+
+        Succeeds only when *nothing* — pending event, lane entry, or an
+        active ``until`` bound — falls inside ``[now, target]``; then no
+        observer could have distinguished the n individual advances, and
+        the bookkeeping mirrors them exactly (``n`` sequence numbers,
+        ``n`` fired events).  Bounded runs always return False so the
+        per-charge path can honour ``max_events`` at the exact event.
+        """
+        if self._immediate or not self._fast_path:
+            return False
+        if not (_INF > target > self._now):
+            return False
+        heap = self._heap
+        if heap:
+            head = heap[0]
+            if head[2] is None:
+                while heap and heap[0][2] is None:
+                    heappop(heap)
+                    self._cancelled_in_heap -= 1
+                if heap and heap[0][0] <= target:
+                    return False
+            elif head[0] <= target:
+                return False
+        if self._until is not None and target > self._until:
+            return False
+        if self._run_max is not None:
+            return False
+        self._seq += n
+        self._events_fired += n
+        self._inline_advances += n
         self._now = target
         return True
 
@@ -441,9 +542,12 @@ class Simulator:
         """The lean loop: no bounds to check, every hot name bound locally.
 
         ``drain_cancelled()`` compacts the heap in place, so the local
-        bindings stay valid even if a callback triggers it.  Counters are
-        updated through ``self`` (not cached) because ``advance_inline``
-        bumps them from inside callbacks.
+        bindings stay valid even if a callback triggers it.  The epoch
+        sub-loops fire whole batches of same-instant events and flush the
+        fired-event counters once per batch; the deferral is safe because
+        the only mid-batch writer, ``advance_inline``, *adds* to the same
+        counters (commutative) and nothing reads them between events of
+        one instant.
         """
         heap = self._heap
         imm = self._immediate
@@ -461,14 +565,30 @@ class Simulator:
                     if ht < it or (ht == it and h[1] < ientry[1]):
                         take_lane = False
                 if take_lane:
-                    imm_pop()
-                    fn = ientry[2]
-                    if len(free) < _FREELIST_MAX:
-                        free.append(ientry)
-                    self._now = ientry[0]
-                    self._events_fired += 1
-                    self._immediate_fired += 1
-                    fn()
+                    # Lane epoch: fire lane entries back-to-back until a
+                    # heap entry is due first.  One truth test per event
+                    # while the heap is empty; one time/seq compare
+                    # otherwise — never the full outer-merge restart.
+                    fired = 0
+                    while True:
+                        imm_pop()
+                        fn = ientry[2]
+                        if len(free) < _FREELIST_MAX:
+                            free.append(ientry)
+                        self._now = ientry[0]
+                        fired += 1
+                        fn()
+                        if not imm:
+                            break
+                        ientry = imm[0]
+                        if heap:
+                            h = heap[0]
+                            ht = h[0]
+                            it = ientry[0]
+                            if ht < it or (ht == it and h[1] < ientry[1]):
+                                break
+                    self._events_fired += fired
+                    self._immediate_fired += fired
                     continue
             elif not heap:
                 return
@@ -478,9 +598,30 @@ class Simulator:
                 self._cancelled_in_heap -= 1
                 continue
             entry[2] = None
-            self._now = entry[0]
+            t = entry[0]
+            self._now = t
             self._events_fired += 1
             fn()
+            if heap and heap[0][0] == t:
+                # Heap epoch: every remaining event of this instant, in
+                # one flat run.  Anything a callback schedules carries a
+                # higher sequence number than everything already queued
+                # at ``t``, so only a lane entry with a *lower* seq (the
+                # one cheap guard below) can preempt the rest.
+                fired = 0
+                while heap and heap[0][0] == t:
+                    e2 = heap[0]
+                    if imm and imm[0][1] < e2[1]:
+                        break
+                    pop(heap)
+                    fn = e2[2]
+                    if fn is None:
+                        self._cancelled_in_heap -= 1
+                        continue
+                    e2[2] = None
+                    fired += 1
+                    fn()
+                self._events_fired += fired
 
     def _run_bounded(self, until: float | None, max_events: int | None) -> None:
         """The general loop: honours ``until`` and ``max_events``.

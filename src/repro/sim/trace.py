@@ -9,14 +9,18 @@ tests and debugging sessions can assert against.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
+from typing import NamedTuple
 
 __all__ = ["Tracer", "NullTracer", "RecordingTracer", "TraceRecord"]
 
 
-@dataclass(frozen=True, slots=True)
-class TraceRecord:
-    """One traced machine event."""
+class TraceRecord(NamedTuple):
+    """One traced machine event.
+
+    A named tuple rather than a dataclass: construction happens once per
+    traced event on the simulator's hottest paths, and ``tuple.__new__``
+    is several times cheaper than a generated ``__init__``.
+    """
 
     time: float
     node: int
@@ -57,6 +61,7 @@ class RecordingTracer(Tracer):
     def __init__(self, *, maxlen: int = 100_000, kinds: set[str] | None = None):
         self.records: deque[TraceRecord] = deque(maxlen=maxlen)
         self.kinds = kinds
+        self._maxlen = maxlen
         #: records the bounded deque pushed out (oldest-first eviction);
         #: renderers surface this so truncation is never silent
         self.evicted = 0
@@ -65,7 +70,7 @@ class RecordingTracer(Tracer):
         if self.kinds is not None and kind not in self.kinds:
             return
         records = self.records
-        if len(records) == records.maxlen:
+        if len(records) == self._maxlen:
             self.evicted += 1
         records.append(TraceRecord(time, node, kind, detail))
 

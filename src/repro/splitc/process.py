@@ -112,7 +112,7 @@ class SCProcess:
         yield from self.ep.send_short(
             gp.node, "sc.read", args=(gp.region, gp.offset, slot), nbytes=_READ_REQ_BYTES
         )
-        yield from self.ep.poll_until(lambda: box.done)
+        yield from self.ep.poll_until_done(box)
         if hist is not None:
             hist.record(self.node.sim.now - t0)
         if sp is not None:
@@ -139,7 +139,7 @@ class SCProcess:
             args=(gp.region, gp.offset, value, slot),
             nbytes=_WRITE_REQ_BYTES,
         )
-        yield from self.ep.poll_until(lambda: box.done)
+        yield from self.ep.poll_until_done(box)
         if sp is not None:
             sp.end(sid, self.node.sim.now)
 
@@ -298,7 +298,7 @@ class SCProcess:
             args=(src.region, src.offset, count, slot),
             nbytes=_READ_REQ_BYTES + 8,
         )
-        yield from self.ep.poll_until(lambda: box.done)
+        yield from self.ep.poll_until_done(box)
         if sp is not None:
             sp.end(sid, self.node.sim.now)
         return box.value
@@ -327,7 +327,7 @@ class SCProcess:
             data=self.node.marshal_pool.take_packed(np.ascontiguousarray(values)),
             nbytes=BULK_HEADER_BYTES + values.nbytes,
         )
-        yield from self.ep.poll_until(lambda: box.done)
+        yield from self.ep.poll_until_done(box)
         if sp is not None:
             sp.end(sid, self.node.sim.now)
 
@@ -391,7 +391,7 @@ class SCProcess:
         yield from self.ep.send_short(
             node, "sc.rpc", args=(name, args, slot), nbytes=_READ_REQ_BYTES + 8 * len(args)
         )
-        yield from self.ep.poll_until(lambda: box.done)
+        yield from self.ep.poll_until_done(box)
         return box.value
 
     # ----------------------------------------------------------------- misc

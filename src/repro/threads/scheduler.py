@@ -40,7 +40,7 @@ from repro.errors import SimulationError
 from repro.obs.metrics import MetricNames
 from repro.sim.account import Category, CounterNames
 from repro.sim.trace import NullTracer
-from repro.sim.effects import Charge, Park, Switch, WaitInbox
+from repro.sim.effects import Charge, ChargeRun, Park, Switch, WaitInbox
 from repro.threads.thread import ThreadState, UThread
 
 __all__ = ["Scheduler"]
@@ -74,6 +74,17 @@ class Scheduler:
         self.threads: list[UThread] = []
         #: trampoline entries — the stall watchdog's progress signal
         self.steps = 0
+        # hot-path bindings, resolved once: the trampoline enters thousands
+        # of times per simulated step and every attribute chain it skips
+        # is paid at that frequency
+        self._acct_us = node.account._us
+        self._advance_inline = self.sim.advance_inline
+        self._tcosts = node.costs.threads
+        self._idle_cidx = Category.IDLE.index
+        # ChargeRun fallback state: remaining items of a run that could
+        # not be collapsed and is being replayed charge-by-charge
+        self._crun_items: tuple[Charge, ...] | None = None
+        self._crun_idx = 0
 
     # ------------------------------------------------------------- inspection
 
@@ -148,23 +159,55 @@ class Scheduler:
         waiter rechecks its predicate (broadcast semantics); waking them
         all here would just make the cold polling thread race the spinner.
         """
-        if self._inbox_waiters:
+        waiters = self._inbox_waiters
+        if waiters:
             # Prefer the most recent NON-daemon waiter (a program thread
             # spinning on a reply) over the daemon polling thread, so a
-            # spin-wait completes without dragging the pollster in.
-            waiter = None
-            for i in range(len(self._inbox_waiters) - 1, -1, -1):
-                if not self._inbox_waiters[i].daemon:
-                    waiter = self._inbox_waiters[i]
-                    del self._inbox_waiters[i]
-                    break
-            if waiter is None:
-                waiter = self._inbox_waiters.pop()
-            waiter.state = ThreadState.PARKED  # normalize for _make_ready
-            self._make_ready(waiter)
-        # Even with no waiters a dispatch may be due (idle node) — cheap
-        # no-op otherwise.
-        self._schedule_dispatch()
+            # spin-wait completes without dragging the pollster in.  The
+            # common case — the newest waiter is the spinner — pops
+            # straight off the deque.
+            waiter = waiters[-1]
+            if not waiter.daemon:
+                waiters.pop()
+            else:
+                waiter = None
+                for i in range(len(waiters) - 1, -1, -1):
+                    if not waiters[i].daemon:
+                        waiter = waiters[i]
+                        del waiters[i]
+                        break
+                if waiter is None:
+                    waiter = waiters.pop()
+            # inlined _make_ready (a WAIT_INBOX thread always passes its
+            # state checks); the dispatch kick it schedules covers every
+            # follow-up this arrival could need
+            waiter.state = ThreadState.READY
+            self._ready.append(waiter)
+            if self._idle_since is not None:
+                self._end_idle()
+            self._schedule_dispatch()
+            return
+        # No waiters.  The kick the reference discipline scheduled here
+        # fired as a no-op (a mid-charge thread stays current for the rest
+        # of this instant, and any transition that clears `current`
+        # schedules its own covering kick), but it was not side-effect
+        # free: while queued, its `_dispatch_pending` flag swallowed the
+        # *delayed* dispatch of a same-instant voluntary Switch, letting
+        # that switch charge context_switch µs of THREAD_MGMT yet start
+        # the next thread with zero gap — accounting and timeline
+        # disagreed.  Eliding the kick fixes that (every switch now pays
+        # its delay; pinned by test_switch_delay_survives_same_instant_
+        # arrival) and leaves one live effect to apply inline: opening
+        # the idle window on a fully quiet node.  (Event removal only
+        # shifts later sequence numbers uniformly, so every (time, seq)
+        # tie-break and trace ordering is preserved.)
+        if (
+            self.current is None
+            and not self._dispatch_pending
+            and not self._ready
+            and self._idle_since is None
+        ):
+            self._idle_since = self.sim.now
 
     def wake_all_inbox_waiters(self) -> None:
         """Release every inbox waiter (after a poll handled messages, so
@@ -181,7 +224,8 @@ class Scheduler:
             raise SimulationError(f"{thr.name} is done")
         thr.state = ThreadState.READY
         self._ready.append(thr)
-        self._end_idle()
+        if self._idle_since is not None:
+            self._end_idle()
         self._schedule_dispatch()
 
     # ------------------------------------------------------------ idle window
@@ -191,8 +235,11 @@ class Scheduler:
             self._idle_since = self.sim.now
 
     def _end_idle(self) -> None:
-        if self._idle_since is not None:
-            self.node.charge(Category.IDLE, self.sim.now - self._idle_since)
+        since = self._idle_since
+        if since is not None:
+            # inlined node.charge: the gap is non-negative by clock
+            # monotonicity, so the validation is statically satisfied
+            self._acct_us[self._idle_cidx] += self.sim._now - since
             self._idle_since = None
 
     # ------------------------------------------------------------- dispatching
@@ -211,25 +258,76 @@ class Scheduler:
         self._dispatch_pending = False
         if self.current is not None:
             return  # a thread is mid-charge; its resume event continues it
-        if not self._ready:
-            self._begin_idle()
+        ready = self._ready
+        if not ready:
+            if self._idle_since is None:
+                self._idle_since = self.sim._now
             return
         if self._h_runq is not None:
             # depth when the dispatcher runs, including the thread about
             # to be popped — a passive observation, no time charged
-            self._h_runq.record(len(self._ready))
-        thr = self._ready.popleft()
-        self._end_idle()
+            self._h_runq.record(len(ready))
+        thr = ready.popleft()
+        if self._idle_since is not None:
+            self._end_idle()
         thr.state = ThreadState.RUNNING
         self.current = thr
         if self._trace is not None:
             self._trace(self.sim.now, self.node.nid, "thread.run", thr.name)
         self._step(thr, None)
 
+    def _after_suspend(self) -> None:
+        """Post-suspension bookkeeping (``current`` just became None).
+
+        With ready threads a dispatch kick is due, exactly as in the
+        reference discipline.  With an empty run queue the kick would fire
+        as a no-op whose only effect is opening the idle window — at the
+        *same instant* it was scheduled — so the window is opened inline
+        and the event elided.  Any later wake-up schedules its own kick
+        via ``_make_ready``; a kick already pending (always a same-instant
+        lane kick in this state) owns the idle bookkeeping instead.
+        Eliding an event only shifts later sequence numbers uniformly,
+        which preserves every (time, seq) tie-break, and an emptier
+        zero-delay lane can only *enable* charge fusion, which is exact
+        by construction.
+        """
+        if self._ready:
+            self._schedule_dispatch()
+        elif not self._dispatch_pending:
+            if self._idle_since is None:
+                self._idle_since = self.sim._now
+
     def _resume_current(self) -> None:
         thr = self.current
         if thr is None:  # pragma: no cover - invariant guard
             raise SimulationError("charge resume raced with another dispatch")
+        self._step(thr, None)
+
+    def _resume_chargerun(self) -> None:
+        """Continue replaying a ChargeRun that suspended mid-run."""
+        thr = self.current
+        if thr is None:  # pragma: no cover - invariant guard
+            raise SimulationError("charge resume raced with another dispatch")
+        items = self._crun_items
+        idx = self._crun_idx
+        sim = self.sim
+        advance_inline = self._advance_inline
+        acct_us = self._acct_us
+        nitems = len(items)
+        while idx < nitems:
+            c = items[idx]
+            us = c.us
+            acct_us[c.cidx] += us
+            idx += 1
+            if us == 0.0 or advance_inline(us):
+                continue
+            self._crun_idx = idx
+            # mirrors the trampoline entry the reference path pays for
+            # each scheduled per-charge resume
+            self.steps += 1
+            sim.schedule(us, self._resume_chargerun)
+            return
+        self._crun_items = None
         self._step(thr, None)
 
     # ------------------------------------------------------------- trampoline
@@ -243,10 +341,11 @@ class Scheduler:
         self.steps += 1
         node = self.node
         sim = self.sim
-        costs = node.costs.threads
-        send = thr.gen.send
-        advance_inline = sim.advance_inline
-        acct_us = node.account._us
+        costs = self._tcosts
+        send = thr.send
+        advance_inline = self._advance_inline
+        advance_inline_run = sim.advance_inline_run
+        acct_us = self._acct_us
         while True:
             try:
                 effect = send(send_value)
@@ -271,6 +370,73 @@ class Scheduler:
                 sim.schedule(us, self._resume_current)
                 return
 
+            if type(effect) is ChargeRun:
+                # A run of consecutive charges.  When the whole window is
+                # free of interleaving events, collapse it: one bulk
+                # advance, then account every item (bulk accounting is
+                # unobservable because nothing fires inside the window).
+                items = effect.items
+                if len(items) == 2:
+                    # Unrolled two-item run — the dominant shape (issue+send,
+                    # hit+reply, local-access+cpu trails).  Semantics are the
+                    # generic path's, specialized for two positive charges.
+                    c0, c1 = items
+                    us0 = c0.us
+                    us1 = c1.us
+                    if 0.0 < us0 and 0.0 < us1:
+                        if advance_inline_run(sim._now + us0 + us1, 2):
+                            acct_us[c0.cidx] += us0
+                            acct_us[c1.cidx] += us1
+                            continue
+                        # replay item by item, as the generic fallback would
+                        acct_us[c0.cidx] += us0
+                        if advance_inline(us0):
+                            acct_us[c1.cidx] += us1
+                            if advance_inline(us1):
+                                continue
+                            self._crun_items = items
+                            self._crun_idx = 2
+                            sim.schedule(us1, self._resume_chargerun)
+                            return
+                        self._crun_items = items
+                        self._crun_idx = 1
+                        sim.schedule(us0, self._resume_chargerun)
+                        return
+                t = sim._now
+                n = 0
+                for c in items:
+                    us = c.us
+                    if us < 0:
+                        raise ValueError(
+                            f"negative charge: {us} us to {c.category}"
+                        )
+                    if us != 0.0:
+                        # stepwise, matching the per-item advances of the
+                        # reference path bit for bit (float addition is
+                        # not associative)
+                        t = t + us
+                        n += 1
+                if n == 0 or sim.advance_inline_run(t, n):
+                    for c in items:
+                        acct_us[c.cidx] += c.us
+                    continue
+                # Fallback: replay the run exactly as N consecutive
+                # Charge effects (account, then advance or suspend).
+                idx = 0
+                nitems = len(items)
+                while idx < nitems:
+                    c = items[idx]
+                    us = c.us
+                    acct_us[c.cidx] += us
+                    idx += 1
+                    if us == 0.0 or advance_inline(us):
+                        continue
+                    self._crun_items = items
+                    self._crun_idx = idx
+                    sim.schedule(us, self._resume_chargerun)
+                    return
+                continue
+
             if type(effect) is Switch:
                 node.charge(Category.THREAD_MGMT, costs.context_switch)
                 node.counters.inc(CounterNames.THREAD_YIELD)
@@ -284,7 +450,7 @@ class Scheduler:
             if type(effect) is Park:
                 thr.state = ThreadState.PARKED
                 self.current = None
-                self._schedule_dispatch()
+                self._after_suspend()
                 return
 
             if type(effect) is WaitInbox:
@@ -293,7 +459,7 @@ class Scheduler:
                 thr.state = ThreadState.WAIT_INBOX
                 self._inbox_waiters.append(thr)
                 self.current = None
-                self._schedule_dispatch()
+                self._after_suspend()
                 return
 
             raise SimulationError(
@@ -310,7 +476,7 @@ class Scheduler:
         self.current = None
         for waiter in thr.take_join_waiters():
             self.wake(waiter)
-        self._schedule_dispatch()
+        self._after_suspend()
         if exc is not None:
             # Simulated-code bugs must not be silently swallowed: re-raise
             # out of the event loop so tests fail loudly.

@@ -37,6 +37,7 @@ class UThread:
         "tid",
         "name",
         "gen",
+        "send",
         "state",
         "scheduler",
         "result",
@@ -56,6 +57,9 @@ class UThread:
         self.tid = next(_thread_ids)
         self.name = name or f"thread-{self.tid}"
         self.gen = gen
+        #: bound ``gen.send``, resolved once — the trampoline calls it on
+        #: every resume, at the highest frequency in the simulator
+        self.send = gen.send
         self.state = ThreadState.NEW
         self.scheduler = scheduler
         #: value returned by the generator body (StopIteration.value)
