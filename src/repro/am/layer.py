@@ -56,7 +56,12 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.am.frames import BULK_HEADER_BYTES, SHORT_HEADER_BYTES, AMFrame
-from repro.errors import RetryExhaustedError, RuntimeStateError, SimulationError
+from repro.errors import (
+    NodeUnreachableError,
+    RetryExhaustedError,
+    RuntimeStateError,
+    SimulationError,
+)
 from repro.machine.network import Network, Packet
 from repro.obs.metrics import MetricNames
 from repro.sim.account import Category, CounterNames
@@ -141,12 +146,16 @@ class AMEndpoint:
         # ---- reliability sublayer state (unused when reliable=False) ----
         #: next sequence number per destination channel
         self._send_seq: dict[int, int] = {}
-        #: per destination: seq -> (kind, payload, nbytes, bulk) to resend
-        self._unacked: dict[int, dict[int, tuple[str, Any, int, bool]]] = {}
+        #: per destination: seq -> (kind, payload, nbytes, bulk, first-send
+        #: time) to resend
+        self._unacked: dict[int, dict[int, tuple[str, Any, int, bool, float]]] = {}
         #: per destination: live retransmit timer / current rto / retries
         self._retx_timer: dict[int, Any] = {}
         self._rto: dict[int, float] = {}
         self._retries: dict[int, int] = {}
+        #: failure detector consulted by the retransmit/credit paths, or
+        #: None (the default — every guarded site costs one is-None test)
+        self._fd: Any = None
         #: next in-order sequence number expected per source
         self._recv_next: dict[int, int] = {}
         #: out-of-order packets held back per source: seq -> packet
@@ -333,7 +342,9 @@ class AMEndpoint:
             return
         seq = self._send_seq.get(dst, 0)
         self._send_seq[dst] = seq + 1
-        self._unacked.setdefault(dst, {})[seq] = (kind, payload, nbytes, bulk)
+        self._unacked.setdefault(dst, {})[seq] = (
+            kind, payload, nbytes, bulk, self.network.sim._now,
+        )
         self._arm_timer(dst)
         self.network.transmit(
             Packet(
@@ -354,6 +365,15 @@ class AMEndpoint:
         if dst not in self._credits:
             self._credits[dst] = window
         while self._credits[dst] <= 0:
+            fd = self._fd
+            if fd is not None and fd.is_dead(self.node.nid, dst):
+                # the refill will never come: fail the send instead of
+                # spinning on a silent channel forever
+                raise NodeUnreachableError(
+                    f"node {self.node.nid}: send to node {dst} blocked on "
+                    "credits, but the peer has been declared dead",
+                    src=self.node.nid, dst=dst,
+                )
             yield from self.wait_and_poll()
         self._credits[dst] -= 1
 
@@ -469,9 +489,22 @@ class AMEndpoint:
         pending = self._unacked.get(peer)
         if not pending:
             return
+        fd = self._fd
+        if fd is not None and fd.is_dead(self.node.nid, peer):
+            # the detector got there first: write the channel off quietly
+            self.abandon_peer(peer)
+            return
         retries = self._retries.get(peer, 0) + 1
         seq = min(pending)
         if retries > self.retry.max_retries:
+            if fd is not None:
+                # exhaustion IS failure evidence: report it — the death
+                # declaration abandons this channel via the membership
+                # listener, and the program learns through its own view
+                # (NodeUnreachableError on the next guarded operation)
+                fd.report_unreachable(self.node.nid, peer)
+                return
+            first_sent = pending[seq][4]
             raise RetryExhaustedError(
                 f"node {self.node.nid}: seq {seq} to node {peer} still "
                 f"unacked after {self.retry.max_retries} retransmissions "
@@ -479,13 +512,15 @@ class AMEndpoint:
                 "peer presumed dead",
                 src=self.node.nid, dst=peer, seq=seq,
                 retries=self.retry.max_retries,
+                kind=pending[seq][0],
+                elapsed_us=self.network.sim._now - first_sent,
             )
         self._retries[peer] = retries
         if self._h_retx is not None:
             # the timeout that just expired — how long the channel sat
             # unacked before this resend (backoff included)
             self._h_retx.record(self._rto.get(peer, self.retry.timeout_us))
-        kind, payload, nbytes, bulk = pending[seq]
+        kind, payload, nbytes, bulk, _first = pending[seq]
         net = self.node.costs.net
         cost = net.short_send_cpu + (net.bulk_setup_cpu if bulk else 0.0)
         self.node.charge(Category.NET, cost)
@@ -503,6 +538,36 @@ class AMEndpoint:
             self.retry.max_timeout_us,
         )
         self._arm_timer(peer)
+
+    # --------------------------------------------------- failure integration
+
+    def attach_failure_detector(self, fd: Any) -> None:
+        """Bind a :class:`~repro.ft.detector.FailureDetector`: the
+        retransmit path stops resending to peers this node has declared
+        dead (in-flight channels are abandoned on the membership change),
+        and a credit-starved send to a dead peer raises
+        :class:`~repro.errors.NodeUnreachableError` instead of spinning.
+        Called by ``FailureDetector.start()``."""
+        self._fd = fd
+        fd.memberships[self.node.nid].on_change(self._on_peer_dead)
+
+    def _on_peer_dead(self, membership: Any, peer: int) -> None:
+        self.abandon_peer(peer)
+
+    def abandon_peer(self, peer: int) -> None:
+        """Write off the reliable channel to ``peer`` (event context): the
+        retransmit timer stands down and every unacked packet is dropped
+        from the resend queue.  Receive-side state is kept — a stale
+        retransmission from a falsely-suspected peer is still suppressed
+        by sequence number."""
+        pending = self._unacked.pop(peer, None)
+        timer = self._retx_timer.pop(peer, None)
+        if timer is not None:
+            timer.cancel()
+        self._retries.pop(peer, None)
+        self._rto.pop(peer, None)
+        if pending:
+            self.node.counters.inc(CounterNames.PKT_ABANDONED, len(pending))
 
     # ----------------------------------------------------------------- polls
 

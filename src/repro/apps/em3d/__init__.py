@@ -16,6 +16,7 @@ Three versions per language (§5):
 
 from repro.apps.em3d.ccpp_impl import run_ccpp_em3d
 from repro.apps.em3d.graph import Em3dGraph, Em3dParams
+from repro.apps.em3d.recovery import CheckpointStore, RecoveryResult, run_recovering_em3d
 from repro.apps.em3d.reference import reference_steps
 from repro.apps.em3d.splitc_impl import run_splitc_em3d
 
@@ -25,4 +26,7 @@ __all__ = [
     "reference_steps",
     "run_splitc_em3d",
     "run_ccpp_em3d",
+    "run_recovering_em3d",
+    "RecoveryResult",
+    "CheckpointStore",
 ]

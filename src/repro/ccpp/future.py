@@ -14,6 +14,7 @@ from collections.abc import Generator
 from typing import Any
 
 from repro.ccpp.gp import ObjectGlobalPtr
+from repro.errors import DeadlineExceededError, NodeUnreachableError
 from repro.threads.api import spawn
 from repro.threads.sync import SyncCell
 
@@ -21,7 +22,11 @@ __all__ = ["RMIFuture", "rmi_future"]
 
 
 class RMIFuture:
-    """Handle to an in-flight RMI; resolve with ``yield from fut.get()``."""
+    """Handle to an in-flight RMI; resolve with ``yield from fut.get()``.
+
+    A failed call (deadline expiry, unreachable peer) re-raises from
+    ``get()`` on the *reader's* thread — the runner must not crash, or
+    the sync cell would never be written and readers would hang."""
 
     __slots__ = ("_cell",)
 
@@ -33,20 +38,34 @@ class RMIFuture:
         return self._cell.written
 
     def get(self) -> Generator[Any, Any, Any]:
-        """Block until the RMI completes; returns its result."""
-        return (yield from self._cell.read())
+        """Block until the RMI completes; returns its result (or raises
+        the failure the runner thread captured)."""
+        tag, value = yield from self._cell.read()
+        if tag == "err":
+            raise value
+        return value
 
 
 def rmi_future(
-    ctx: Any, gptr: ObjectGlobalPtr, method: str, *args: Any
+    ctx: Any,
+    gptr: ObjectGlobalPtr,
+    method: str,
+    *args: Any,
+    deadline_us: float | None = None,
 ) -> Generator[Any, Any, RMIFuture]:
     """Start ``gptr->method(*args)`` on a fresh local thread; returns the
     future immediately."""
     cell = SyncCell(ctx.node, f"future:{gptr.cls}::{method}")
 
     def runner():
-        result = yield from ctx.rmi(gptr, method, *args)
-        yield from cell.write(result)
+        try:
+            result = yield from ctx.rmi(
+                gptr, method, *args, deadline_us=deadline_us
+            )
+        except (DeadlineExceededError, NodeUnreachableError) as exc:
+            yield from cell.write(("err", exc))
+            return
+        yield from cell.write(("ok", result))
 
     yield from spawn(ctx.node, runner(), f"rmi-future-{method}")
     return RMIFuture(cell)

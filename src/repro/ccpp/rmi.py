@@ -39,7 +39,13 @@ from repro.am.frames import BULK_HEADER_BYTES, SHORT_HEADER_BYTES
 from repro.ccpp.gp import DataGlobalPtr, ObjectGlobalPtr
 from repro.ccpp.names import MethodName
 from repro.ccpp.stubs import CacheEntry
-from repro.errors import RemoteInvocationError, RuntimeStateError
+from repro.errors import (
+    DeadlineExceededError,
+    NodeUnreachableError,
+    RemoteInvocationError,
+    RuntimeStateError,
+    SimulationError,
+)
 from repro.marshal import (
     Marshallable,
     Packer,
@@ -101,7 +107,13 @@ class WaitMode(enum.Enum):
 
 @dataclass(slots=True)
 class RMIBox:
-    """Initiator-side completion record for one outstanding RMI."""
+    """Initiator-side completion record for one outstanding RMI.
+
+    ``status`` is ``"ok"``/``"err"`` for a normal reply, ``"deadline"``
+    when the per-call deadline expired first, and ``"unreachable"`` when
+    the failure detector declared the target dead mid-call — the latter
+    two mean the slot was *abandoned* and any late reply is dropped.
+    """
 
     mode: WaitMode
     done: bool = False
@@ -111,6 +123,8 @@ class RMIBox:
     via_bulk: bool = False
     lock: Lock | None = None
     cond: Condition | None = None
+    #: remote node the call targets (for membership-driven aborts)
+    target: int = -1
 
 
 class _NodeCharges:
@@ -164,6 +178,9 @@ class _NodeRMIState:
     chg_marshal0: Any = None
     #: recycled (Lock, Condition) pairs for PARK-mode reply boxes
     box_pool: list = field(default_factory=list)
+    #: slots retired by deadline/unreachable abandonment whose reply (if
+    #: it ever lands) must be dropped instead of faulting the node
+    abandoned: set = field(default_factory=set)
 
 
 class RMIEngine:
@@ -171,6 +188,8 @@ class RMIEngine:
 
     def __init__(self, rt: "CCppRuntime"):
         self.rt = rt
+        #: per-node membership views once a failure detector is attached
+        self._memberships: Any = None
         # observability: pre-resolved latency histogram / span recorder,
         # or None (the default) — invoke() pays one is-None test each
         cluster = rt.cluster
@@ -261,17 +280,97 @@ class RMIEngine:
         yield from st.slot_lock.release()
         return slot, box
 
-    def _pop_box(self, nid: int, slot: int) -> Generator[Any, Any, RMIBox]:
+    def _pop_box(self, nid: int, slot: int) -> Generator[Any, Any, RMIBox | None]:
+        """Claim the reply slot; ``None`` for a late reply to an abandoned
+        call (deadline expiry or unreachable-peer abort got there first)."""
         st = self._state[nid]
         assert st.slot_lock is not None
         yield from st.slot_lock.acquire()
         try:
-            box = st.slots.pop(slot)
-        except KeyError:
-            raise RuntimeStateError(f"node {nid}: reply for unknown RMI slot {slot}") from None
+            box = st.slots.pop(slot, None)
+            if box is None:
+                if slot not in st.abandoned:
+                    raise RuntimeStateError(
+                        f"node {nid}: reply for unknown RMI slot {slot}"
+                    )
+                st.abandoned.discard(slot)
+                self.rt.cluster.nodes[nid].counters.inc(CounterNames.RMI_LATE_REPLY)
         finally:
             yield from st.slot_lock.release()
         return box
+
+    def _expire_slot(self, node: Any, slot: int, status: str) -> None:
+        """Abandon an outstanding call (event context: a deadline timer or
+        a membership listener).  The slot is retired so a late reply is
+        dropped, and the initiator is woken with ``box.status`` set —
+        through a tiny completer thread for PARK mode, so the lock/cond
+        pair is drained exactly like a normal completion and can be
+        recycled safely."""
+        st = self._state[node.nid]
+        box = st.slots.pop(slot, None)
+        if box is None or box.done:
+            return  # reply won the race; nothing to abandon
+        st.abandoned.add(slot)
+        box.status = status
+        if status == "deadline":
+            node.counters.inc(CounterNames.RMI_DEADLINE)
+        sched = node.scheduler
+        if box.mode is WaitMode.SPIN:
+            box.done = True
+            if sched is not None:
+                # a spinner asleep in WAIT_INBOX must recheck box.done
+                sched.wake_all_inbox_waiters()
+            return
+        assert sched is not None
+        sched.make_thread(
+            self._complete_box(None, box), f"rmi-abandon-{slot}", daemon=True
+        )
+
+    # --------------------------------------------------- failure integration
+
+    def attach_failure_detector(self, fd: Any) -> None:
+        """Bind a :class:`~repro.ft.detector.FailureDetector`: an RMI to a
+        peer already declared dead fails fast with
+        :class:`~repro.errors.NodeUnreachableError`, and outstanding calls
+        to a peer declared dead mid-flight are aborted instead of waiting
+        on a reply that cannot come."""
+        self._memberships = fd.memberships
+        for node in self.rt.cluster.nodes:
+            fd.memberships[node.nid].on_change(self._on_peer_dead)
+
+    def _on_peer_dead(self, membership: Any, peer: int) -> None:
+        node = self.rt.cluster.nodes[membership.nid]
+        st = self._state[membership.nid]
+        for slot, box in sorted(st.slots.items()):
+            if box.target == peer:
+                self._expire_slot(node, slot, "unreachable")
+
+    def _check_alive(self, nid: int, target: int, op: str) -> None:
+        ms = self._memberships
+        if ms is not None and not ms[nid].is_alive(target):
+            raise NodeUnreachableError(
+                f"node {nid}: {op} targets node {target}, which this node "
+                "has declared dead",
+                src=nid, dst=target,
+            )
+
+    def _raise_abandoned(self, box: RMIBox, nid: int, op: str,
+                         deadline_us: float | None) -> None:
+        """Map an abandoned box's status to its exception (no-op for
+        normal replies)."""
+        if box.status == "deadline":
+            raise DeadlineExceededError(
+                f"node {nid}: {op} to node {box.target} abandoned after "
+                f"its {deadline_us:.0f} us deadline",
+                node=box.target, op=op,
+                deadline_us=deadline_us if deadline_us is not None else 0.0,
+            )
+        if box.status == "unreachable":
+            raise NodeUnreachableError(
+                f"node {nid}: {op} to node {box.target} aborted — the peer "
+                "was declared dead while the call was in flight",
+                src=nid, dst=box.target,
+            )
 
     # -------------------------------------------------------------- initiator
 
@@ -283,14 +382,24 @@ class RMIEngine:
         args: tuple[Any, ...] = (),
         *,
         wait: WaitMode = WaitMode.PARK,
+        deadline_us: float | None = None,
     ) -> Generator[Any, Any, Any]:
         """Call ``method`` on the remote object; returns its result.
 
         The full path the paper costs out: stub-cache probe (3 µs),
         argument marshalling, request transmission (short or bulk), wait
         (spin or park), reply unmarshalling.
+
+        ``deadline_us`` bounds the whole call in virtual time: if no
+        reply lands within the budget the slot is abandoned and
+        :class:`~repro.errors.DeadlineExceededError` raised instead of
+        waiting forever.  ``None`` (the default) keeps the original
+        unbounded — and byte-identical — behavior.
         """
         node = ctx.node
+        if deadline_us is not None and deadline_us <= 0:
+            raise SimulationError(f"RMI deadline must be > 0 us, got {deadline_us}")
+        self._check_alive(node.nid, gptr.node, "rmi")
         ep: AMEndpoint = ctx.ep
         rc = node.costs.runtime
         name = MethodName.of(gptr.cls, method) if gptr.cls else method
@@ -350,8 +459,17 @@ class RMIEngine:
         if sp is not None:
             sp.end(msid, node.sim.now)
 
-        # 3. completion record
+        # 3. completion record; the deadline timer is armed *before*
+        # transmission so a credit stall on a sick peer is also bounded
         slot, box = yield from self._new_box(node.nid, wait)
+        box.target = gptr.node
+        deadline_evt = (
+            node.sim.schedule_event(
+                deadline_us, lambda: self._expire_slot(node, slot, "deadline")
+            )
+            if deadline_us is not None
+            else None
+        )
 
         # 4. transmit
         cold = entry is None
@@ -393,12 +511,18 @@ class RMIEngine:
             else -1
         )
         yield from self._await_box(ep, box)
+        if deadline_evt is not None:
+            deadline_evt.cancel()
         if sp is not None:
             sp.end(wsid, node.sim.now)
         if box.lock is not None:
             # drained: completer signalled and released, waiter reacquired
             # and released — nothing references the pair any more
             st.box_pool.append((box.lock, box.cond))
+        if box.status in ("deadline", "unreachable"):
+            if sp is not None:
+                sp.end(sid, node.sim.now)
+            self._raise_abandoned(box, node.nid, "rmi", deadline_us)
 
         # 6. unpack the result
         yield st.chgs.reply_handling
@@ -436,6 +560,7 @@ class RMIEngine:
         Completion must be observed through application-level
         synchronization (sync variables, counters) — as in CC++."""
         node = ctx.node
+        self._check_alive(node.nid, gptr.node, "rmi_async")
         ep: AMEndpoint = ctx.ep
         rc = node.costs.runtime
         name = MethodName.of(gptr.cls, method) if gptr.cls else method
@@ -650,6 +775,8 @@ class RMIEngine:
     def _h_reply(self, ep: AMEndpoint, src: int, frame: AMFrame):
         slot, status, via_bulk = frame.args
         box = yield from self._pop_box(ep.node.nid, slot)
+        if box is None:
+            return  # late reply to an abandoned call: dropped
         box.status = status
         box.payload = frame.data
         box.via_bulk = via_bulk
@@ -679,16 +806,20 @@ class RMIEngine:
         if gp.node == node.nid:
             yield chgs.gp_local
             return ctx.mem.load_gp(gp.region, gp.offset)
+        self._check_alive(node.nid, gp.node, "gp_read")
         yield chgs.stub_lookup
         # value-semantics request build (2-word address + result slot)
         yield chgs.gp_read_req
         slot, box = yield from self._new_box(node.nid, wait)
+        box.target = gp.node
         yield from st.comm_lock.acquire()
         yield from ctx.ep.send_short(
             gp.node, "cc.gp_read", args=(slot, gp.region, gp.offset), nbytes=_GP_REQ_BYTES
         )
         yield from st.comm_lock.release()
         yield from self._await_box(ctx.ep, box)
+        if box.status != "ok":
+            self._raise_abandoned(box, node.nid, "gp_read", None)
         yield chgs.gp_read_reply
         return box.value
 
@@ -703,9 +834,11 @@ class RMIEngine:
             yield chgs.gp_local
             ctx.mem.store_gp(gp.region, gp.offset, value)
             return
+        self._check_alive(node.nid, gp.node, "gp_write")
         yield chgs.stub_lookup
         yield chgs.gp_write_req
         slot, box = yield from self._new_box(node.nid, wait)
+        box.target = gp.node
         yield from st.comm_lock.acquire()
         yield from ctx.ep.send_short(
             gp.node,
@@ -715,6 +848,8 @@ class RMIEngine:
         )
         yield from st.comm_lock.release()
         yield from self._await_box(ctx.ep, box)
+        if box.status != "ok":
+            self._raise_abandoned(box, node.nid, "gp_write", None)
         yield chgs.reply_handling
 
     def _h_gp_read(self, ep: AMEndpoint, src: int, frame: AMFrame):
@@ -751,10 +886,14 @@ class RMIEngine:
     def _h_gp_val(self, ep: AMEndpoint, src: int, frame: AMFrame):
         slot, value = frame.args
         box = yield from self._pop_box(ep.node.nid, slot)
+        if box is None:
+            return
         box.value = value
         yield from self._complete_box(ep, box)
 
     def _h_gp_ack(self, ep: AMEndpoint, src: int, frame: AMFrame):
         (slot,) = frame.args
         box = yield from self._pop_box(ep.node.nid, slot)
+        if box is None:
+            return
         yield from self._complete_box(ep, box)

@@ -242,9 +242,19 @@ class CCContext:
         method: str,
         *args: Any,
         wait: WaitMode = WaitMode.PARK,
+        deadline_us: float | None = None,
     ) -> Generator[Any, Any, Any]:
-        """Invoke ``gptr->method(*args)`` and return its result."""
-        return (yield from self.rt.engine.invoke(self, gptr, method, args, wait=wait))
+        """Invoke ``gptr->method(*args)`` and return its result.
+
+        ``deadline_us`` bounds the call in virtual time; past it the call
+        raises :class:`~repro.errors.DeadlineExceededError` instead of
+        hanging (and a call to a peer the failure detector has declared
+        dead raises :class:`~repro.errors.NodeUnreachableError`)."""
+        return (
+            yield from self.rt.engine.invoke(
+                self, gptr, method, args, wait=wait, deadline_us=deadline_us
+            )
+        )
 
     def rmi_async(
         self, gptr: ObjectGlobalPtr, method: str, *args: Any
@@ -253,12 +263,20 @@ class CCContext:
         sync variables or counters to observe completion."""
         yield from self.rt.engine.invoke_async(self, gptr, method, args)
 
-    def rmi_future(self, gptr: ObjectGlobalPtr, method: str, *args: Any):
+    def rmi_future(
+        self,
+        gptr: ObjectGlobalPtr,
+        method: str,
+        *args: Any,
+        deadline_us: float | None = None,
+    ):
         """CC++ ``spawn``: start the RMI on a fresh thread, get a future
         back immediately; ``yield from fut.get()`` to resolve."""
         from repro.ccpp.future import rmi_future
 
-        return (yield from rmi_future(self, gptr, method, *args))
+        return (
+            yield from rmi_future(self, gptr, method, *args, deadline_us=deadline_us)
+        )
 
     def create(
         self, nid: int, cls: type[ProcessorObject] | str, *ctor_args: Any

@@ -48,14 +48,63 @@ class DeadlockError(SimulationError):
 class RetryExhaustedError(SimulationError):
     """The reliable AM sublayer gave up on a channel: a packet stayed
     unacknowledged through the full retransmission budget, so the peer is
-    presumed dead (or the fault plan is harsher than the retry policy)."""
+    presumed dead (or the fault plan is harsher than the retry policy).
 
-    def __init__(self, message: str, *, src: int, dst: int, seq: int, retries: int):
+    Carries the whole channel context so fault-matrix harnesses can
+    assert on *which* channel died and how hard the sublayer tried:
+    ``src``/``dst`` node ids, the stuck sequence number, the handler
+    ``kind`` of the stuck packet ('am.short', 'am.bulk', ...), the
+    retransmission count, total ``attempts`` (original send included),
+    and the virtual time the channel spent stalled on that sequence.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        src: int,
+        dst: int,
+        seq: int,
+        retries: int,
+        kind: str = "",
+        elapsed_us: float = 0.0,
+    ):
         super().__init__(message)
         self.src = src
         self.dst = dst
         self.seq = seq
         self.retries = retries
+        #: handler kind of the oldest unacknowledged packet
+        self.kind = kind
+        #: transmissions attempted in total (the original send + retries)
+        self.attempts = retries + 1
+        #: virtual µs between the first send of ``seq`` and giving up
+        self.elapsed_us = elapsed_us
+
+
+class NodeUnreachableError(SimulationError):
+    """An operation targeted a peer the failure detector has declared
+    dead: the send/invoke is refused (or an in-flight wait aborted)
+    instead of stalling forever on a silent channel."""
+
+    def __init__(self, message: str, *, src: int, dst: int):
+        super().__init__(message)
+        self.src = src
+        self.dst = dst
+
+
+class DeadlineExceededError(SimulationError):
+    """A per-call deadline expired before the reply arrived.  The call is
+    abandoned — its reply slot is retired and a late reply, if one ever
+    lands, is dropped — and the initiator resumes with this error."""
+
+    def __init__(self, message: str, *, node: int, op: str, deadline_us: float):
+        super().__init__(message)
+        #: the remote node the call targeted
+        self.node = node
+        #: what was being invoked (method name or GP op)
+        self.op = op
+        self.deadline_us = deadline_us
 
 
 class MarshalError(ReproError):

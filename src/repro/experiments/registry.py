@@ -335,6 +335,18 @@ register(ExperimentSpec(
     cost_hint=0.6,
 ))
 register(ExperimentSpec(
+    name="chaos",
+    title="Chaos matrix — randomized fault plans vs checkpoint/restart",
+    module="repro.experiments.chaos",
+    result_type="ChaosResult",
+    params=(
+        ParamSpec("plans", "int", 25, "number of seeded fault plans"),
+        ParamSpec("seed", "int", 1997, "top-level chaos seed"),
+        ParamSpec("steps", "int", 4, "EM3D iterations per scenario"),
+    ),
+    cost_hint=1.2,
+))
+register(ExperimentSpec(
     name="scaling",
     title="§6 — bulk-transfer scaling ('factor of about 200')",
     module="repro.experiments.scaling",
@@ -378,7 +390,7 @@ register(ExperimentSpec(
 #: canonical artifact order — `run all` output follows this
 ARTIFACT_NAMES: tuple[str, ...] = (
     "table1", "table4", "figure5", "figure6", "nexus", "ablations",
-    "faults", "scaling", "scorecard", "trace", "metrics",
+    "faults", "chaos", "scaling", "scorecard", "trace", "metrics",
 )
 
 

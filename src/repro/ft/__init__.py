@@ -1,0 +1,5 @@
+"""Failure detection: heartbeats, suspicion, membership epochs."""
+
+from repro.ft.detector import KIND_HB, FailureDetector, Membership, install_detector
+
+__all__ = ["FailureDetector", "Membership", "install_detector", "KIND_HB"]

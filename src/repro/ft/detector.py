@@ -1,0 +1,290 @@
+"""Heartbeat-based failure detection over the simulated fabric.
+
+The reliable AM sublayer (PR 2) makes a *lossy* fabric safe; this module
+makes a fabric with *dead nodes* survivable.  A :class:`FailureDetector`
+runs one virtual-time heartbeat service for a whole cluster:
+
+* every ``interval_us`` each node injects one tiny ``ft.hb`` packet to
+  every peer it still believes alive — NIC-level control traffic,
+  charged to NET like acks, never entering the inbox;
+* **every** arriving packet counts as liveness evidence (the detector's
+  delivery filter stamps ``last_heard`` before delegating to the
+  reliable sublayer), so a chatty peer is never suspected just because a
+  fault plan ate its heartbeats;
+* suspicion is the classic accrual shape collapsed to a deterministic
+  virtual-time threshold: ``suspicion = silence / interval_us``, and a
+  peer whose suspicion reaches ``phi`` is declared dead.  Virtual time
+  makes the phi threshold exact and reproducible — the same seed gives
+  the same detection instant, bit for bit.
+
+Each node owns a small :class:`Membership` object: the set of peers it
+believes alive and a monotonically increasing *epoch* bumped on every
+death declaration.  Death is permanent within a run (a node that went
+dark long enough to be declared dead is treated as failed even if the
+fabric later heals — the recovery layer re-partitions without it).
+
+Liveness discipline: the detector must never be the thing keeping the
+simulation running.  Its tick stands down (does not re-arm, sends no
+heartbeats) as soon as no node has a live non-daemon thread — so a
+finished program drains exactly as it would without the detector, while
+a *stuck* program keeps the event loop alive long enough for the stall
+watchdog to convert the hang into a :class:`~repro.errors.DeadlockError`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+from repro.machine.network import Packet
+from repro.obs.metrics import MetricNames
+from repro.sim.account import Category, CounterNames
+
+__all__ = ["Membership", "FailureDetector", "install_detector", "KIND_HB"]
+
+#: packet kind of a heartbeat (outside the ``am.`` namespace on purpose:
+#: fault rules targeting AM data traffic leave the control plane alone)
+KIND_HB = "ft.hb"
+_HB_BYTES = 16
+
+
+class Membership:
+    """One node's view of who is alive, plus an epoch counter.
+
+    ``epoch`` starts at 0 and is bumped once per death declaration, so
+    ``epoch == 0`` means "this node never saw a failure".  Listeners run
+    in event context (no yielding) and receive ``(membership, dead_peer)``.
+    """
+
+    __slots__ = ("nid", "alive", "epoch", "_listeners")
+
+    def __init__(self, nid: int, all_nodes: list[int]):
+        self.nid = nid
+        self.alive: set[int] = set(all_nodes)
+        self.epoch = 0
+        self._listeners: list[Callable[["Membership", int], None]] = []
+
+    def is_alive(self, peer: int) -> bool:
+        return peer in self.alive
+
+    def on_change(self, fn: Callable[["Membership", int], None]) -> None:
+        """Register a listener called after each death declaration."""
+        self._listeners.append(fn)
+
+    def declare_dead(self, peer: int) -> bool:
+        """Remove ``peer`` from the alive set and bump the epoch.
+        Idempotent; returns True only on the first declaration."""
+        if peer not in self.alive:
+            return False
+        if peer == self.nid:
+            raise SimulationError(f"node {self.nid} cannot declare itself dead")
+        self.alive.discard(peer)
+        self.epoch += 1
+        for fn in self._listeners:
+            fn(self, peer)
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Membership node={self.nid} epoch={self.epoch} "
+            f"alive={sorted(self.alive)}>"
+        )
+
+
+class FailureDetector:
+    """Cluster-wide heartbeat service with per-node membership views."""
+
+    SERVICE = "ft-detector"
+
+    def __init__(
+        self,
+        cluster: Any,
+        *,
+        interval_us: float = 500.0,
+        phi: float = 8.0,
+        hb_bytes: int = _HB_BYTES,
+    ):
+        if interval_us <= 0:
+            raise SimulationError(f"heartbeat interval must be > 0, got {interval_us}")
+        if phi < 2.0:
+            raise SimulationError(
+                f"phi threshold must be >= 2 intervals (got {phi}): one missed "
+                "heartbeat is wire jitter, not a failure"
+            )
+        self.cluster = cluster
+        self.interval_us = interval_us
+        self.phi = phi
+        self.hb_bytes = hb_bytes
+        self.threshold_us = phi * interval_us
+        nids = [n.nid for n in cluster.nodes]
+        #: per-node membership views, indexed by node id
+        self.memberships: list[Membership] = [Membership(nid, nids) for nid in nids]
+        #: per-node: peer -> virtual time we last heard anything from it
+        self._last_heard: list[dict[int, float]] = [{} for _ in nids]
+        self._event: Any = None
+        self._started = False
+        #: instrumentation: ticks run, heartbeats sent, deaths declared
+        self.ticks = 0
+        metrics = cluster.metrics
+        self._h_silence = (
+            None if metrics is None else metrics.histogram(MetricNames.DETECT_SILENCE)
+        )
+
+    # ------------------------------------------------------------- lifecycle
+
+    def start(self) -> "FailureDetector":
+        """Chain the per-node delivery filters, bind any AM endpoints to
+        this detector, and arm the heartbeat timer."""
+        if self._started:
+            return self
+        self._started = True
+        sim = self.cluster.sim
+        now = sim.now
+        for node in self.cluster.nodes:
+            node.attach(self.SERVICE, self)
+            heard = self._last_heard[node.nid]
+            for peer in self.memberships[node.nid].alive:
+                if peer != node.nid:
+                    heard[peer] = now  # grace: everyone starts "just heard"
+            self._chain_filter(node)
+            layer = node.services.get("msg-layer")
+            attach = getattr(layer, "attach_failure_detector", None)
+            if attach is not None:
+                attach(self)
+        self._event = sim.schedule_event(self.interval_us, self._tick)
+        return self
+
+    def stop(self) -> None:
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _chain_filter(self, node: Any) -> None:
+        """Wrap the node's delivery filter: stamp liveness evidence for
+        every arrival, consume heartbeats, delegate the rest."""
+        inner = node.deliver_filter
+        heard = self._last_heard[node.nid]
+        sim = self.cluster.sim
+        hb_recv_cpu = node.costs.net.poll_hit_cpu
+
+        def _filter(pkt: Packet):
+            heard[pkt.src] = sim._now
+            if pkt.kind == KIND_HB:
+                node.charge(Category.NET, hb_recv_cpu)
+                node.counters.inc(CounterNames.HB_RECV)
+                return ()
+            if inner is not None:
+                return inner(pkt)
+            return (pkt,)
+
+        node.deliver_filter = _filter
+
+    # ------------------------------------------------------------------ tick
+
+    def _alive_work(self) -> bool:
+        """True while some node still runs a non-daemon thread — the only
+        condition under which the detector keeps itself armed."""
+        for node in self.cluster.nodes:
+            sched = node.scheduler
+            if sched is not None and sched.live_nondaemon_count():
+                return True
+        return False
+
+    def _tick(self) -> None:
+        self._event = None
+        if not self._alive_work():
+            return  # program finished (or every thread exited): stand down
+        self.ticks += 1
+        sim = self.cluster.sim
+        now = sim._now
+        network = self.cluster.network
+        # 1. heartbeats: every node pings every peer it believes alive
+        for node in self.cluster.nodes:
+            nid = node.nid
+            hb_cpu = node.costs.net.short_send_cpu
+            for peer in sorted(self.memberships[nid].alive):
+                if peer == nid:
+                    continue
+                node.charge(Category.NET, hb_cpu)
+                node.counters.inc(CounterNames.HB_SENT)
+                network.transmit(
+                    Packet(src=nid, dst=peer, kind=KIND_HB, payload=None,
+                           nbytes=self.hb_bytes)
+                )
+        # 2. suspicion: silence past the phi threshold is a death
+        for node in self.cluster.nodes:
+            nid = node.nid
+            heard = self._last_heard[nid]
+            membership = self.memberships[nid]
+            for peer in sorted(membership.alive):
+                if peer == nid:
+                    continue
+                silence = now - heard.get(peer, now)
+                if silence >= self.threshold_us:
+                    self._declare(nid, peer, silence)
+        self._event = sim.schedule_event(self.interval_us, self._tick)
+
+    # ------------------------------------------------------------ suspicion
+
+    def suspicion(self, nid: int, peer: int) -> float:
+        """Accrual-style suspicion of ``peer`` from ``nid``'s view:
+        observed silence in heartbeat intervals (phi units)."""
+        heard = self._last_heard[nid].get(peer)
+        if heard is None:
+            return 0.0
+        return (self.cluster.sim.now - heard) / self.interval_us
+
+    def is_dead(self, nid: int, peer: int) -> bool:
+        """Has node ``nid`` declared ``peer`` dead?"""
+        return not self.memberships[nid].is_alive(peer)
+
+    def report_unreachable(self, nid: int, peer: int) -> None:
+        """External evidence of failure (e.g. the reliable AM sublayer
+        exhausting its retransmission budget): declare immediately."""
+        if not self.is_dead(nid, peer):
+            silence = self.cluster.sim.now - self._last_heard[nid].get(
+                peer, self.cluster.sim.now
+            )
+            self._declare(nid, peer, silence)
+
+    def _declare(self, nid: int, peer: int, silence: float) -> None:
+        node = self.cluster.nodes[nid]
+        if not self.memberships[nid].declare_dead(peer):
+            return
+        node.counters.inc(CounterNames.PEER_DEAD)
+        if self._h_silence is not None:
+            self._h_silence.record(silence)
+        tracer = node.tracer
+        if type(tracer).__name__ != "NullTracer":
+            tracer.record(
+                self.cluster.sim.now, nid, "ft.dead",
+                f"peer {peer} silent {silence:.0f}us "
+                f"(epoch {self.memberships[nid].epoch})",
+            )
+        sched = node.scheduler
+        if sched is not None:
+            # blocked threads recheck their predicates against the new view
+            sched.wake_all_inbox_waiters()
+
+    # ---------------------------------------------------------- diagnostics
+
+    def describe(self) -> str:
+        """One line per degraded membership view (deadlock-dump material)."""
+        bits = []
+        for m in self.memberships:
+            if m.epoch:
+                bits.append(f"node {m.nid}: epoch={m.epoch} alive={sorted(m.alive)}")
+        return "; ".join(bits) if bits else "all views intact"
+
+
+def install_detector(
+    cluster: Any,
+    *,
+    interval_us: float = 500.0,
+    phi: float = 8.0,
+) -> FailureDetector:
+    """Create and start a failure detector for ``cluster``.  Call after
+    ``install_am`` so the detector's delivery filter wraps the reliable
+    sublayer's (liveness evidence is stamped before protocol processing)
+    and so AM endpoints learn to consult the detector."""
+    return FailureDetector(cluster, interval_us=interval_us, phi=phi).start()

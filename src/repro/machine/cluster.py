@@ -202,6 +202,17 @@ class Cluster:
         faults = self.network.faults
         if faults is not None and not faults.empty:
             lines.append(f"faults: {faults!r}")
+        detector = self.nodes[0].services.get("ft-detector") if self.nodes else None
+        if detector is not None:
+            lines.append(f"membership: {detector.describe()}")
+        if self.metrics is not None:
+            # fold the end-of-run pool/engine gauges in so a deadlock dump
+            # carries the same observability snapshot a clean run reports
+            from repro.obs.metrics import collect_cluster_gauges
+
+            collect_cluster_gauges(self.metrics, self)
+            for name, value in sorted(self.metrics.gauges.items()):
+                lines.append(f"gauge {name}={value:g}")
         return "\n".join(lines)
 
     def _check_deadlock(self) -> None:

@@ -200,6 +200,7 @@ class MetricNames:
     SC_READ = "splitc.read_us"              # blocking remote read latency
     POOL_HIT_RATE = "pool.hit_rate"         # gauge: warm leases / leases
     POOL_LEASES = "pool.leases"             # gauge
+    DETECT_SILENCE = "ft.detect_silence_us" # silence observed when declaring death
 
 
 def collect_cluster_gauges(metrics: Metrics, cluster) -> None:

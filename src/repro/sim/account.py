@@ -188,3 +188,12 @@ class CounterNames:
     PKT_RETRANSMIT = "net.pkt.retransmit"   # reliability-sublayer resends
     PKT_DUP_SUPPRESSED = "net.pkt.dup_suppressed"  # duplicates dropped by seq
     PKT_ACK = "net.pkt.ack"                 # standalone acks sent
+    # failure detection + recovery
+    PKT_ABANDONED = "net.pkt.abandoned"     # unacked sends written off (peer dead)
+    HB_SENT = "ft.hb.sent"                  # heartbeats injected
+    HB_RECV = "ft.hb.recv"                  # heartbeats consumed at delivery
+    PEER_DEAD = "ft.peer_dead"              # peers this node declared dead
+    RMI_DEADLINE = "ccpp.rmi.deadline"      # invocations abandoned at deadline
+    RMI_LATE_REPLY = "ccpp.rmi.late_reply"  # replies dropped for abandoned slots
+    CKPT_WRITE = "recovery.ckpt.write"      # checkpoint snapshots written
+    CKPT_RESTORE = "recovery.ckpt.restore"  # restarts replayed from a checkpoint

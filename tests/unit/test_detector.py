@@ -1,0 +1,224 @@
+"""Unit tests for the heartbeat failure detector and membership views."""
+
+import pytest
+
+from repro.am import RetryPolicy, install_am
+from repro.errors import SimulationError
+from repro.ft import KIND_HB, FailureDetector, Membership, install_detector
+from repro.machine.cluster import Cluster
+from repro.machine.faults import FaultPlan
+from repro.sim.account import CounterNames
+
+
+class TestMembership:
+    def test_starts_intact_at_epoch_zero(self):
+        m = Membership(0, [0, 1, 2])
+        assert m.epoch == 0
+        assert all(m.is_alive(p) for p in (0, 1, 2))
+
+    def test_declare_dead_bumps_epoch_once(self):
+        m = Membership(0, [0, 1, 2])
+        assert m.declare_dead(2) is True
+        assert m.epoch == 1
+        assert not m.is_alive(2)
+        # idempotent: the second declaration is a no-op
+        assert m.declare_dead(2) is False
+        assert m.epoch == 1
+
+    def test_cannot_declare_self_dead(self):
+        m = Membership(1, [0, 1])
+        with pytest.raises(SimulationError):
+            m.declare_dead(1)
+
+    def test_listeners_see_each_declaration(self):
+        m = Membership(0, [0, 1, 2])
+        seen = []
+        m.on_change(lambda mm, peer: seen.append((mm.epoch, peer)))
+        m.declare_dead(1)
+        m.declare_dead(2)
+        m.declare_dead(1)  # already dead: no callback
+        assert seen == [(1, 1), (2, 2)]
+
+
+class TestDetectorConfig:
+    def test_interval_must_be_positive(self):
+        with pytest.raises(SimulationError):
+            FailureDetector(Cluster(2), interval_us=0.0)
+
+    def test_phi_below_two_rejected(self):
+        """One missed heartbeat is jitter, not a failure."""
+        with pytest.raises(SimulationError):
+            FailureDetector(Cluster(2), phi=1.0)
+
+
+def _poll_server(node):
+    ep = node.service("am")
+    while True:
+        yield from ep.wait_and_poll()
+
+
+def _chatter(node, dst, n):
+    ep = node.service("am")
+    for i in range(n):
+        yield from ep.send_short(dst, "h", args=(i,), nbytes=16)
+
+
+class TestHealthyCluster:
+    def test_no_false_positives_and_heartbeats_flow(self):
+        cluster = Cluster(3)
+        eps = install_am(cluster, reliable=True)
+        for ep in eps:
+            ep.register_handler("h", lambda *a: iter(()))
+        fd = install_detector(cluster, interval_us=100.0, phi=4.0)
+        for nid in (1, 2):
+            cluster.launch(nid, _poll_server(cluster.nodes[nid]), daemon=True)
+        cluster.launch(0, _chatter(cluster.nodes[0], 1, 50))
+        cluster.run()
+        assert fd.describe() == "all views intact"
+        assert all(m.epoch == 0 for m in fd.memberships)
+        counters = cluster.aggregate_counters().snapshot()
+        assert counters.get(CounterNames.HB_SENT, 0) > 0
+        assert counters.get(CounterNames.HB_RECV, 0) > 0
+        assert counters.get(CounterNames.PEER_DEAD, 0) == 0
+
+    def test_stands_down_when_program_finishes(self):
+        """The detector must never be the thing keeping the sim alive:
+        a finished program drains even with heartbeats armed."""
+        cluster = Cluster(2)
+        eps = install_am(cluster)
+        eps[1].register_handler("h", lambda *a: iter(()))
+        cluster.launch(1, _poll_server(cluster.nodes[1]), daemon=True)
+        cluster.launch(0, _chatter(cluster.nodes[0], 1, 3))
+        install_detector(cluster, interval_us=50.0, phi=4.0)
+        cluster.run()  # must terminate (no until=, no watchdog needed)
+        assert cluster.sim.now < 100_000.0
+
+    def test_data_traffic_counts_as_liveness(self):
+        """Every arrival stamps last_heard, so a chatty peer survives a
+        fault plan that eats every one of its heartbeats."""
+        cluster = Cluster(2, faults=FaultPlan().drop(KIND_HB, rate=1.0))
+        eps = install_am(cluster, reliable=True)
+        for ep in eps:
+            ep.register_handler("h", lambda *a: iter(()))
+
+        def slow_chatter(node, dst):
+            ep = node.service("am")
+            for i in range(30):
+                # spaced beyond the heartbeat interval but well inside
+                # the phi threshold: data alone keeps both views intact
+                yield from ep.send_short(dst, "h", args=(i,), nbytes=16)
+                yield from ep.poll_until(lambda: True)
+
+        cluster.launch(1, _poll_server(cluster.nodes[1]), daemon=True)
+        fd = install_detector(cluster, interval_us=100.0, phi=4.0)
+        cluster.launch(0, slow_chatter(cluster.nodes[0], 1))
+        cluster.run()
+        assert fd.describe() == "all views intact"
+
+
+class TestFailureDetection:
+    def _failed_cluster(self, *, fail_at=1_000.0, n=3):
+        cluster = Cluster(
+            n, faults=FaultPlan().fail_node(n - 1, at=fail_at)
+        )
+        eps = install_am(
+            cluster,
+            reliable=True,
+            retry=RetryPolicy(timeout_us=200.0, backoff=2.0,
+                              max_timeout_us=3200.0, max_retries=100),
+        )
+        for ep in eps:
+            ep.register_handler("h", lambda *a: iter(()))
+        return cluster, eps
+
+    def test_silent_peer_declared_after_threshold(self):
+        fail_at, interval, phi = 1_000.0, 100.0, 4.0
+        cluster, eps = self._failed_cluster(fail_at=fail_at)
+        fd = install_detector(cluster, interval_us=interval, phi=phi)
+        declared_at = {}
+
+        for nid in (0, 1):
+            fd.memberships[nid].on_change(
+                lambda m, peer, nid=nid: declared_at.setdefault(nid, cluster.sim.now)
+            )
+
+        def waiter(node, fd=fd):
+            ep = node.service("am")
+            yield from ep.poll_until(
+                lambda: not fd.memberships[node.nid].is_alive(2)
+            )
+
+        for nid in (0, 1):
+            cluster.launch(nid, waiter(cluster.nodes[nid]), f"wait@{nid}")
+        cluster.launch(2, _poll_server(cluster.nodes[2]), daemon=True)
+        cluster.run(watchdog_us=True)
+        # both survivors declared node 2 dead, at or after the phi
+        # threshold past the failure instant, within one extra interval
+        threshold = phi * interval
+        for nid in (0, 1):
+            assert not fd.memberships[nid].is_alive(2)
+            assert fd.memberships[nid].epoch == 1
+            assert fail_at + threshold <= declared_at[nid] <= fail_at + threshold + 2 * interval
+        assert "epoch=1" in fd.describe()
+
+    def test_suspicion_grows_with_silence(self):
+        cluster, eps = self._failed_cluster(fail_at=500.0)
+        fd = install_detector(cluster, interval_us=100.0, phi=4.0)
+        samples = []
+
+        def sampler(node):
+            ep = node.service("am")
+            for _ in range(12):
+                samples.append(fd.suspicion(0, 2))
+                yield from ep.send_short(1, "h", nbytes=16)
+            # run out the clock until the declaration lands
+            yield from ep.poll_until(lambda: fd.is_dead(0, 2))
+
+        cluster.launch(0, sampler(cluster.nodes[0]))
+        cluster.launch(1, _poll_server(cluster.nodes[1]), daemon=True)
+        cluster.launch(2, _poll_server(cluster.nodes[2]), daemon=True)
+        cluster.run(watchdog_us=True)
+        assert fd.is_dead(0, 2)
+        # suspicion is silence in intervals: nondecreasing once node 2
+        # goes dark, and it crossed phi by the time death was declared
+        tail = [s for s in samples if s > 0.0]
+        assert tail == sorted(tail)
+        assert fd.suspicion(0, 2) >= 4.0
+
+    def test_report_unreachable_declares_immediately(self):
+        cluster = Cluster(2)
+        install_am(cluster, reliable=True)
+        fd = install_detector(cluster, interval_us=100.0, phi=4.0)
+        assert not fd.is_dead(0, 1)
+        fd.report_unreachable(0, 1)
+        assert fd.is_dead(0, 1)
+        assert fd.memberships[0].epoch == 1
+        # only the reporting node's view changed
+        assert not fd.is_dead(1, 0)
+
+    def test_retry_exhaustion_feeds_the_detector(self):
+        """With a detector attached, a channel that exhausts its budget
+        is reported instead of raising RetryExhaustedError — the program
+        then observes the failure through its membership view."""
+        cluster = Cluster(2, faults=FaultPlan().drop("am.", rate=1.0, dst=1))
+        eps = install_am(
+            cluster,
+            reliable=True,
+            retry=RetryPolicy(timeout_us=50.0, backoff=2.0,
+                              max_timeout_us=200.0, max_retries=3),
+        )
+        eps[1].register_handler("h", lambda *a: iter(()))
+        fd = install_detector(cluster, interval_us=100.0, phi=4.0)
+
+        def sender(node):
+            ep = node.service("am")
+            yield from ep.send_short(1, "h", nbytes=16)
+            yield from ep.poll_until(lambda: fd.is_dead(0, 1))
+            return fd.memberships[0].epoch
+
+        cluster.launch(1, _poll_server(cluster.nodes[1]), daemon=True)
+        thread = cluster.launch(0, sender(cluster.nodes[0]))
+        cluster.run(watchdog_us=True)
+        assert thread.result == 1
+        counters = cluster.aggregate_counters().snapshot()
+        assert counters.get(CounterNames.PKT_ABANDONED, 0) >= 1

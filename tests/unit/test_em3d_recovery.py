@@ -1,0 +1,152 @@
+"""Unit tests for fault-tolerant EM3D: checkpoint/restart recovery."""
+
+import numpy as np
+import pytest
+
+from repro.apps.em3d import (
+    CheckpointStore,
+    Em3dGraph,
+    Em3dParams,
+    reference_steps,
+    run_recovering_em3d,
+)
+from repro.errors import SimulationError
+from repro.machine.faults import FaultPlan
+from repro.sim.account import CounterNames
+
+
+def _graph(seed=11, n_nodes=32, n_procs=4):
+    return Em3dGraph(
+        Em3dParams(n_nodes=n_nodes, degree=4, n_procs=n_procs,
+                   pct_remote=0.5, seed=seed)
+    )
+
+
+class TestCheckpointStore:
+    def test_initial_state_is_step_zero(self):
+        store = CheckpointStore({0: 1.0, 1: 2.0})
+        step, vals = store.latest()
+        assert step == 0
+        assert vals == {0: 1.0, 1: 2.0}
+        assert store.restores == 1
+
+    def test_partial_write_does_not_commit(self):
+        store = CheckpointStore({0: 0.0, 1: 0.0})
+        store.write(1, 0, {0: 5.0}, participants=[0, 1])
+        step, vals = store.latest()
+        assert step == 0  # rank 1 never wrote: step 1 is not committed
+        assert vals == {0: 0.0, 1: 0.0}
+
+    def test_full_participant_set_commits(self):
+        store = CheckpointStore({0: 0.0, 1: 0.0})
+        store.write(1, 0, {0: 5.0}, participants=[0, 1])
+        store.write(1, 1, {1: 7.0}, participants=[0, 1])
+        step, vals = store.latest()
+        assert step == 1
+        assert vals == {0: 5.0, 1: 7.0}
+        assert store.writes == 2
+
+    def test_latest_returns_highest_committed(self):
+        store = CheckpointStore({0: 0.0})
+        store.write(1, 0, {0: 1.0}, participants=[0])
+        store.write(3, 0, {0: 3.0}, participants=[0])
+        store.write(2, 0, {0: 2.0}, participants=[0])
+        assert store.latest() == (3, {0: 3.0})
+
+
+class TestCleanRun:
+    def test_matches_reference_bitwise(self):
+        graph = _graph()
+        out = run_recovering_em3d(graph, steps=4)
+        assert out.attempts == 1
+        assert out.dead_procs == []
+        assert out.restart_steps == []
+        assert out.ckpt_restores == 0
+        assert out.values.tobytes() == reference_steps(graph, 4).tobytes()
+        assert out.conserved and out.quiescent
+
+    def test_checkpoint_cadence(self):
+        graph = _graph()
+        # ckpt_every=2 over 3 steps: commits at step 2 and the final
+        # step 3, one write per rank per commit
+        out = run_recovering_em3d(graph, steps=3, ckpt_every=2)
+        assert out.ckpt_writes == 2 * graph.params.n_procs
+        assert out.counters.get(CounterNames.CKPT_WRITE, 0) == out.ckpt_writes
+
+    def test_rejects_bad_parameters(self):
+        graph = _graph()
+        with pytest.raises(SimulationError):
+            run_recovering_em3d(graph, steps=0)
+        with pytest.raises(SimulationError):
+            run_recovering_em3d(graph, steps=2, ckpt_every=0)
+
+
+class TestFailureRecovery:
+    def _run_with_kill(self, graph, *, victim=2, at_frac=0.5, steps=4):
+        horizon = run_recovering_em3d(graph, steps=steps).elapsed_us
+        plan = FaultPlan(seed=7).fail_node(victim, at=at_frac * horizon)
+        return run_recovering_em3d(graph, steps=steps, faults=plan)
+
+    def test_midrun_kill_recovers_to_reference(self):
+        """ISSUE acceptance case: kill a node mid-run; the driver
+        restarts from the last committed checkpoint on the survivors and
+        still lands on the fault-free reference values, bitwise."""
+        graph = _graph()
+        out = self._run_with_kill(graph)
+        assert out.attempts == 2
+        assert out.dead_procs == [2]
+        assert len(out.restart_steps) == 1
+        assert out.ckpt_restores == 1
+        assert out.counters.get(CounterNames.CKPT_RESTORE, 0) == 3  # survivors
+        assert out.values.tobytes() == reference_steps(graph, 4).tobytes()
+        assert out.conserved
+
+    def test_restart_resumes_from_committed_step(self):
+        graph = _graph()
+        out = self._run_with_kill(graph)
+        (restart,) = out.restart_steps
+        assert 0 <= restart < 4  # a committed step, strictly before the end
+
+    def test_early_kill_restarts_from_step_zero(self):
+        graph = _graph()
+        horizon = run_recovering_em3d(graph, steps=4).elapsed_us
+        plan = FaultPlan(seed=7).fail_node(1, at=0.05 * horizon)
+        out = run_recovering_em3d(graph, steps=4, faults=plan)
+        assert out.attempts == 2
+        assert out.restart_steps == [0]  # died before any checkpoint committed
+        assert out.values.tobytes() == reference_steps(graph, 4).tobytes()
+
+    def test_recovery_is_deterministic(self):
+        """The same graph and a rebuilt-identical plan replay to the
+        same attempts, restart points, virtual time and values."""
+        graph = _graph()
+        horizon = run_recovering_em3d(graph, steps=4).elapsed_us
+
+        def once():
+            plan = FaultPlan(seed=7).fail_node(2, at=0.5 * horizon)
+            out = run_recovering_em3d(graph, steps=4, faults=plan)
+            return (out.attempts, tuple(out.dead_procs),
+                    tuple(out.restart_steps), out.elapsed_us,
+                    out.values.tobytes(), tuple(sorted(out.counters.items())))
+
+        assert once() == once()
+
+    def test_lossy_fabric_without_deaths_still_exact(self):
+        graph = _graph()
+        plan = FaultPlan(seed=3).drop("am.", rate=0.05).duplicate("am.", rate=0.02)
+        out = run_recovering_em3d(graph, steps=4, faults=plan)
+        assert out.attempts == 1
+        assert out.values.tobytes() == reference_steps(graph, 4).tobytes()
+        assert out.conserved and out.quiescent
+        assert out.counters.get(CounterNames.PKT_RETRANSMIT, 0) > 0
+
+    def test_empty_plan_matches_no_plan_bitwise(self):
+        """ISSUE acceptance case: recovery machinery armed but idle (an
+        empty fault plan) must not perturb any committed observable."""
+        graph = _graph()
+        a = run_recovering_em3d(graph, steps=4)
+        b = run_recovering_em3d(graph, steps=4, faults=FaultPlan())
+        assert a.values.tobytes() == b.values.tobytes()
+        assert a.elapsed_us == b.elapsed_us
+        assert a.counters == b.counters
+        assert a.ckpt_writes == b.ckpt_writes

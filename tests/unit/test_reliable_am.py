@@ -186,6 +186,12 @@ class TestRetryPolicy:
         err = excinfo.value
         assert err.src == 0 and err.dst == 1
         assert err.seq == 0 and err.retries == 3
+        # structured context: what was stuck, how hard we tried, how long
+        assert err.kind == "am.short"
+        assert err.attempts == 4  # original send + 3 retransmissions
+        # rto schedule 50, 100, 200, then one last capped 200 us wait
+        # before the give-up verdict: 550 us stalled in total
+        assert err.elapsed_us == pytest.approx(550.0)
 
     def test_backoff_spaces_out_retransmissions(self):
         cluster = Cluster(2, faults=FaultPlan().drop("am.", rate=1.0, dst=1))

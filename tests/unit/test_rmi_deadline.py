@@ -1,0 +1,214 @@
+"""Unit tests for RMI deadlines, cancellation and unreachable-peer aborts."""
+
+import pytest
+
+from repro.am import RetryPolicy
+from repro.ccpp import (
+    CCppRuntime,
+    ObjectGlobalPtr,
+    ProcessorObject,
+    WaitMode,
+    processor_class,
+    remote,
+)
+from repro.errors import DeadlineExceededError, NodeUnreachableError, SimulationError
+from repro.ft import install_detector
+from repro.machine.cluster import Cluster
+from repro.machine.faults import FaultPlan
+from repro.sim.account import Category, CounterNames
+from repro.sim.effects import Charge
+
+
+@processor_class
+class Echo(ProcessorObject):
+    @remote
+    def ping(self, x=0):
+        return x + 1
+
+    @remote(threaded=True)
+    def slow_ping(self):
+        yield Charge(5_000.0, Category.CPU)
+        return 1
+
+
+def _rt(n=2, *, faults=None, reliable=False, retry=None):
+    return CCppRuntime(Cluster(n, faults=faults), reliable=reliable, retry=retry)
+
+
+def _run(rt, program, *, watchdog_us=None):
+    thread = rt.launch(0, program)
+    if watchdog_us is None:
+        rt.run()
+    else:
+        rt.cluster.run(watchdog_us=watchdog_us)
+    return thread.result
+
+
+class TestDeadlines:
+    def test_deadline_must_be_positive(self):
+        rt = _rt()
+
+        def program(ctx):
+            gp = yield from ctx.create(1, Echo)
+            with pytest.raises(SimulationError):
+                yield from ctx.rmi(gp, "ping", deadline_us=0.0)
+            return "ok"
+
+        assert _run(rt, program) == "ok"
+
+    def test_generous_deadline_changes_nothing(self):
+        rt = _rt()
+
+        def program(ctx):
+            gp = yield from ctx.create(1, Echo)
+            a = yield from ctx.rmi(gp, "ping", 1)
+            b = yield from ctx.rmi(gp, "ping", 1, deadline_us=1e9)
+            return a, b
+
+        assert _run(rt, program) == (2, 2)
+        counters = rt.cluster.aggregate_counters().snapshot()
+        assert counters.get(CounterNames.RMI_DEADLINE, 0) == 0
+
+    @pytest.mark.parametrize("wait", [WaitMode.PARK, WaitMode.SPIN])
+    def test_lost_request_raises_deadline_exceeded(self, wait):
+        # every data packet to node 1 is eaten: the request never lands
+        # and only the deadline frees the caller (the pointer is forged —
+        # the request is dropped before dispatch would ever look it up)
+        rt = _rt(faults=FaultPlan().drop("am.", rate=1.0, dst=1))
+        gp = ObjectGlobalPtr(node=1, obj_id=0, cls="Echo")
+
+        def program(ctx):
+            try:
+                yield from ctx.rmi(gp, "ping", wait=wait, deadline_us=500.0)
+            except DeadlineExceededError as exc:
+                return exc
+            return None
+
+        err = _run(rt, program, watchdog_us=True)
+        assert isinstance(err, DeadlineExceededError)
+        assert err.node == 1
+        assert err.op == "rmi"
+        assert err.deadline_us == 500.0
+        counters = rt.cluster.aggregate_counters().snapshot()
+        assert counters.get(CounterNames.RMI_DEADLINE, 0) == 1
+
+    def test_late_reply_is_dropped_not_delivered(self):
+        """A reply that arrives after the deadline fired hits a retired
+        slot: it is counted (RMI_LATE_REPLY) and discarded, and the next
+        call on the same node still works."""
+        # 400 us of extra latency each way: round trip > the 500 us
+        # deadline, but the reply does eventually land
+        rt = _rt(faults=FaultPlan().delay("am.", rate=1.0, delay_us=400.0))
+
+        def program(ctx):
+            gp = yield from ctx.create(1, Echo)
+            try:
+                yield from ctx.rmi(gp, "ping", 1, deadline_us=500.0)
+            except DeadlineExceededError:
+                pass
+            # second call, no deadline: proves the slot table recovered
+            # and the late first reply did not corrupt it
+            return (yield from ctx.rmi(gp, "ping", 10))
+
+        assert _run(rt, program) == 11
+        counters = rt.cluster.aggregate_counters().snapshot()
+        assert counters.get(CounterNames.RMI_LATE_REPLY, 0) == 1
+        assert counters.get(CounterNames.RMI_DEADLINE, 0) == 1
+
+    def test_future_surfaces_deadline_error_on_get(self):
+        rt = _rt(faults=FaultPlan().drop("am.", rate=1.0, dst=1))
+        gp = ObjectGlobalPtr(node=1, obj_id=0, cls="Echo")
+
+        def program(ctx):
+            fut = yield from ctx.rmi_future(gp, "ping", deadline_us=300.0)
+            try:
+                yield from fut.get()
+            except DeadlineExceededError as exc:
+                return exc
+            return None
+
+        err = _run(rt, program, watchdog_us=True)
+        assert isinstance(err, DeadlineExceededError)
+        assert err.deadline_us == 300.0
+
+
+class TestUnreachablePeers:
+    def _rt_with_detector(self, faults=None):
+        rt = _rt(
+            faults=faults,
+            reliable=True,
+            retry=RetryPolicy(timeout_us=100.0, backoff=2.0,
+                              max_timeout_us=800.0, max_retries=50),
+        )
+        fd = install_detector(rt.cluster, interval_us=100.0, phi=4.0)
+        rt.engine.attach_failure_detector(fd)
+        return rt, fd
+
+    def test_fail_fast_on_known_dead_peer(self):
+        rt, fd = self._rt_with_detector()
+
+        def program(ctx):
+            gp = yield from ctx.create(1, Echo)
+            fd.memberships[0].declare_dead(1)
+            try:
+                yield from ctx.rmi(gp, "ping")
+            except NodeUnreachableError as exc:
+                return exc
+            return None
+
+        err = _run(rt, program)
+        assert isinstance(err, NodeUnreachableError)
+        assert err.src == 0 and err.dst == 1
+
+    def test_async_rmi_also_fails_fast(self):
+        rt, fd = self._rt_with_detector()
+
+        def program(ctx):
+            gp = yield from ctx.create(1, Echo)
+            fd.memberships[0].declare_dead(1)
+            with pytest.raises(NodeUnreachableError):
+                yield from ctx.rmi_async(gp, "ping")
+            return "ok"
+
+        assert _run(rt, program) == "ok"
+
+    def test_midflight_death_aborts_the_wait(self):
+        """Node 1 goes dark while a slow call is outstanding: the
+        detector's declaration expires the slot, and the caller gets
+        NodeUnreachableError instead of waiting forever on the reply."""
+        rt, fd = self._rt_with_detector(
+            faults=FaultPlan().fail_node(1, at=300.0)
+        )
+
+        def program(ctx):
+            gp = yield from ctx.create(1, Echo)
+            try:
+                # the method computes 5 ms remotely; the fabric loses
+                # node 1 long before the reply could be sent
+                yield from ctx.rmi(gp, "slow_ping")
+            except NodeUnreachableError as exc:
+                return exc
+            return None
+
+        err = _run(rt, program, watchdog_us=True)
+        assert isinstance(err, NodeUnreachableError)
+        assert err.src == 0 and err.dst == 1
+        assert fd.is_dead(0, 1)
+
+    def test_detection_beats_a_longer_deadline(self):
+        """Both bounds armed: the membership abort lands before a very
+        long deadline, and the error reflects what actually happened."""
+        rt, fd = self._rt_with_detector(
+            faults=FaultPlan().fail_node(1, at=300.0)
+        )
+
+        def program(ctx):
+            gp = yield from ctx.create(1, Echo)
+            try:
+                yield from ctx.rmi(gp, "slow_ping", deadline_us=1e9)
+            except NodeUnreachableError as exc:
+                return exc
+            return None
+
+        err = _run(rt, program, watchdog_us=True)
+        assert isinstance(err, NodeUnreachableError)

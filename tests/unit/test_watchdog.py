@@ -217,3 +217,96 @@ class TestLivelockWatchdog:
         elapsed = cluster.run(watchdog_us=10_000.0)
         # finishes (no false DeadlockError); at most one trailing window
         assert 1_000_000.0 <= elapsed <= 1_010_000.0
+
+    def test_batched_charge_run_is_not_a_stall(self):
+        """The batched tier collapses whole charge sequences into one
+        ChargeRun effect — many watchdog windows can elapse inside a
+        single trampoline entry.  Same rule as a long Charge: a running
+        thread is progress, never a stall."""
+        from repro.sim.account import Category
+        from repro.sim.effects import Charge, ChargeRun
+
+        cluster = Cluster(1)
+
+        def batched(node):
+            # 100 x 20 ms in one effect: ~200 windows with zero steps
+            yield ChargeRun(*(Charge(20_000.0, Category.CPU) for _ in range(100)))
+
+        cluster.launch(0, batched(cluster.nodes[0]))
+        elapsed = cluster.run(watchdog_us=10_000.0)
+        assert 2_000_000.0 <= elapsed <= 2_010_000.0
+
+    def test_genuine_stall_inside_batched_run_still_caught(self):
+        """The converse guarantee: interleaving a ChargeRun worker with a
+        retransmit storm must not mask the livelock — once the batched
+        compute finishes and the storm spins on, the dog still fires."""
+        from repro.sim.account import Category
+        from repro.sim.effects import Charge, ChargeRun
+
+        cluster = self._stuck_cluster()
+
+        def batched(node):
+            yield ChargeRun(*(Charge(1_000.0, Category.CPU) for _ in range(8)))
+
+        cluster.launch(0, batched(cluster.nodes[0]), "cruncher", daemon=True)
+        with pytest.raises(DeadlockError) as excinfo:
+            cluster.run(watchdog_us=5_000.0)
+        assert "stall watchdog" in str(excinfo.value)
+
+
+class TestDiagnosticsDump:
+    def _deadlock(self, **cluster_kw):
+        """The lost-refill drain deadlock, parameterized over extras."""
+        cluster = Cluster(
+            2,
+            costs=SP2_COSTS.with_net(credit_window=2),
+            faults=FaultPlan().drop("am.credit", rate=1.0),
+            **cluster_kw,
+        )
+        eps = install_am(cluster, reliable=True, retry=RetryPolicy(max_retries=0))
+        eps[1].register_handler("h", lambda *a: iter(()))
+
+        def sender(node):
+            ep = node.service("am")
+            for i in range(4):
+                yield from ep.send_short(1, "h", nbytes=16)
+
+        cluster.launch(1, _poll_server(cluster.nodes[1]), daemon=True)
+        cluster.launch(0, sender(cluster.nodes[0]))
+        with pytest.raises(DeadlockError) as excinfo:
+            cluster.run()
+        return excinfo.value
+
+    def test_unmetered_dump_has_no_gauges(self):
+        err = self._deadlock()
+        assert "gauge " not in err.diagnostics
+
+    def test_metered_dump_includes_gauge_snapshot(self):
+        """With metrics installed, the deadlock dump folds in the same
+        end-of-run gauge snapshot a clean run reports — one line per
+        gauge, sorted, so dumps diff cleanly across runs."""
+        from repro.obs.metrics import Metrics
+
+        err = self._deadlock(metrics=Metrics())
+        lines = [l for l in err.diagnostics.splitlines() if l.startswith("gauge ")]
+        assert lines, "metered dump carried no gauges"
+        names = [l.split("=")[0] for l in lines]
+        assert names == sorted(names)
+        for line in lines:
+            assert "=" in line
+
+    def test_dump_includes_membership_when_detector_installed(self):
+        """diagnose() — the text every DeadlockError carries — must show
+        the failure detector's degraded views (a deadlock right after a
+        death declaration is exactly when you want to see who was
+        blamed).  Checked on diagnose() directly: a cluster with both a
+        detector and a hang never drains on its own, the watchdog path
+        is covered above, and the dump builder is shared by both."""
+        from repro.ft import install_detector
+
+        cluster = Cluster(2)
+        install_am(cluster)
+        fd = install_detector(cluster, interval_us=100.0, phi=4.0)
+        assert "membership: all views intact" in cluster.diagnose()
+        fd.memberships[0].declare_dead(1)
+        assert "membership: node 0: epoch=1 alive=[0]" in cluster.diagnose()
