@@ -187,6 +187,91 @@ def traced_em3d_step(stats_out: dict | None = None) -> Any:
     return out
 
 
+_EM3D_1024_GRAPH = None
+
+
+def _em3d_1024_graph():
+    from repro.apps.em3d import Em3dGraph, Em3dParams
+
+    global _EM3D_1024_GRAPH
+    if _EM3D_1024_GRAPH is None:
+        _EM3D_1024_GRAPH = Em3dGraph(
+            Em3dParams(
+                n_nodes=2048, degree=4, n_procs=1024, pct_remote=0.25, chunked=True
+            )
+        )
+    return _EM3D_1024_GRAPH
+
+
+@scenario("em3d_step_1024nodes")
+def em3d_step_1024nodes(stats_out: dict | None = None) -> Any:
+    """One EM3D step on a 1024-processor cluster over an oversubscribed
+    fat-tree — the two-orders-of-magnitude scale target.  Uses the
+    chunked graph build (the sequential builder would dominate the
+    scenario) and the bulk version (one aggregated transfer per ghost
+    source, the only sane protocol at this scale)."""
+    from repro.apps.em3d import run_splitc_em3d
+
+    return run_splitc_em3d(
+        _em3d_1024_graph(),
+        steps=1,
+        version="bulk",
+        warmup_steps=0,
+        topology="fattree:arity=16,fatness=4",
+    )
+
+
+_CONGESTION_TOPO = "fattree:arity=8,fatness=2"
+
+
+@scenario("congestion_incast_hotspot")
+def congestion_incast_hotspot(stats_out: dict | None = None) -> float:
+    """63 senders x 16 messages each into node 0 on a fat-tree: the
+    victim's ejection link serializes everything (hot-link utilization
+    ~1.0).  Prices the contended transmit path under maximal queueing."""
+    from repro.experiments.congestion import measure_pattern
+    from repro.machine.costs import SP2_COSTS
+
+    pairs = [(src, 0) for _ in range(16) for src in range(1, 64)]
+    elapsed, _, util, _, _ = measure_pattern(64, _CONGESTION_TOPO, pairs, 4096, SP2_COSTS)
+    assert util > 0.9
+    return elapsed
+
+
+@scenario("congestion_alltoall")
+def congestion_alltoall(stats_out: dict | None = None) -> float:
+    """All-to-all (32 nodes x 4 rounds) on the fat-tree: the saturation
+    workload's contended half, ~4k packets through route lookup and
+    per-link occupancy."""
+    from repro.experiments.congestion import _alltoall_pairs, measure_pattern
+    from repro.machine.costs import SP2_COSTS
+
+    pairs = _alltoall_pairs(32, 4)
+    elapsed, _, util, _, _ = measure_pattern(32, _CONGESTION_TOPO, pairs, 4096, SP2_COSTS)
+    assert util > 0.5
+    return elapsed
+
+
+@scenario("congestion_bisection")
+def congestion_bisection(stats_out: dict | None = None) -> float:
+    """Cross-bisection pairs (64 nodes x 32 rounds) on the fat-tree —
+    every packet climbs to the root level, the longest routes the fabric
+    has."""
+    from repro.experiments.congestion import measure_pattern
+    from repro.machine.costs import SP2_COSTS
+
+    half = 32
+    pairs = [
+        (src, dst)
+        for _ in range(32)
+        for i in range(half)
+        for src, dst in ((i, i + half), (i + half, i))
+    ]
+    elapsed, _, util, _, _ = measure_pattern(64, _CONGESTION_TOPO, pairs, 4096, SP2_COSTS)
+    assert util > 0.5
+    return elapsed
+
+
 @scenario("reliable_am_roundtrip")
 def reliable_am_roundtrip(stats_out: dict | None = None) -> float:
     """Bare-AM ping-pong with the reliable-delivery sublayer on (seq

@@ -81,17 +81,20 @@ def run_ccpp_em3d(
     costs: CostModel = SP2_COSTS,
     warmup_steps: int = 1,
     runtime_factory=None,
+    topology=None,
 ) -> Em3dRunResult:
     """Run one CC++ EM3D configuration and measure it.
 
     ``runtime_factory(n_procs)`` may supply an alternative CC++ runtime
-    (the Nexus baseline) — application code is identical either way."""
+    (the Nexus baseline) — application code is identical either way.
+    ``topology`` (Topology or spec string, None = flat crossbar) shapes
+    the interconnect when this function builds its own cluster."""
     if version not in VERSIONS:
         raise ReproError(f"unknown EM3D version {version!r}; pick from {VERSIONS}")
     layout = Em3dLayout(graph)
     p = graph.params
     if runtime_factory is None:
-        cluster = Cluster(p.n_procs, costs=costs)
+        cluster = Cluster(p.n_procs, costs=costs, topology=topology)
         rt = CCppRuntime(cluster)
     else:
         rt = runtime_factory(p.n_procs)

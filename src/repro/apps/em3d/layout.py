@@ -76,15 +76,17 @@ class Em3dLayout:
                     plan.updates.append(
                         NodeUpdate(n.gid, off, list(n.weights), sources)
                     )
-        # export lists: what proc q reads from me is what I must pack
-        for proc in range(p.n_procs):
+        # export lists: what proc q reads from me is what I must pack.
+        # Inverted from the readers' fetch lists so the cost is
+        # O(reader-source pairs with traffic), not O(P^2) probes — at 1k+
+        # processors the all-pairs scan dominated construction.  Readers
+        # ascend, so each owner's exports dict gets the same insertion
+        # order the dense scan produced.
+        for reader in range(p.n_procs):
             for phase in (0, 1):
-                for reader in range(p.n_procs):
-                    if reader == proc:
-                        continue
-                    gids = self.plans[reader][phase].by_src.get(proc)
+                for src, gids in self.plans[reader][phase].by_src.items():
                     if gids:
-                        self.plans[proc][phase].exports[reader] = gids
+                        self.plans[src][phase].exports[reader] = gids
 
     def _ghost_count(self, proc: int, phase: int) -> int:
         return sum(len(v) for v in self.plans[proc][phase].by_src.values())

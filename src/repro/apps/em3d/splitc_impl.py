@@ -60,6 +60,7 @@ def run_splitc_em3d(
     retry: Any = None,
     metrics: Any | None = None,
     batched: bool | None = None,
+    topology: Any | None = None,
 ) -> Em3dRunResult:
     """Run one Split-C EM3D configuration and measure it.
 
@@ -74,6 +75,10 @@ def run_splitc_em3d(
     version, the flattened compute kernel of
     :mod:`repro.apps.em3d.batched` — bit-identical to the reference
     path, just cheaper per event.
+
+    ``topology`` is a :class:`~repro.machine.topology.Topology` or spec
+    string ("flat", "ring", "fattree:arity=8"); None keeps the
+    historical contention-free crossbar bit-for-bit.
     """
     if version not in VERSIONS:
         raise ReproError(f"unknown EM3D version {version!r}; pick from {VERSIONS}")
@@ -86,6 +91,7 @@ def run_splitc_em3d(
         tracer=tracer,
         faults=faults,
         metrics=metrics,
+        topology=topology,
     )
     rt = SplitCRuntime(cluster, reliable=reliable, retry=retry, batched=batched)
     # The kernel reorders observation-free bookkeeping inside fused

@@ -68,19 +68,33 @@ def run(
     versions: tuple[str, ...] = VERSIONS,
     steps: int = 1,
     seed: int = 1997,
+    topology: str = "flat",
 ) -> Figure5Result:
-    """Regenerate Figure 5."""
+    """Regenerate Figure 5.
+
+    ``topology`` shapes the interconnect ("flat" = the paper's
+    contention-free crossbar, bit-identical to the historical figure;
+    "ring" / "fattree:..." re-runs the same workload over a contended
+    fabric — an axis the sweep CLI can grid over).
+    """
     if quick:
         base_params = dict(n_nodes=160, degree=8, n_procs=4, seed=seed)
     else:
         base_params = dict(n_nodes=800, degree=20, n_procs=4, seed=seed)
+    # None (not a FlatTopology) for "flat", so the cluster build is the
+    # exact historical call — byte-identity is checked by CI
+    topo = None if topology == "flat" else topology
 
     result = Figure5Result()
     for pct in pcts:
         graph = Em3dGraph(Em3dParams(pct_remote=pct, **base_params))
         for version in versions:
-            sc = run_splitc_em3d(graph, steps=steps, version=version, warmup_steps=1)
-            cc = run_ccpp_em3d(graph, steps=steps, version=version, warmup_steps=1)
+            sc = run_splitc_em3d(
+                graph, steps=steps, version=version, warmup_steps=1, topology=topo
+            )
+            cc = run_ccpp_em3d(
+                graph, steps=steps, version=version, warmup_steps=1, topology=topo
+            )
             for lang, res in (("splitc", sc), ("ccpp", cc)):
                 key = (version, pct, lang)
                 result.per_edge_us[key] = res.per_edge_us

@@ -244,6 +244,27 @@ def _check_scenarios(value: Any) -> str | None:
     return None
 
 
+def _check_topology(value: Any) -> str | None:
+    if value is None:
+        return None
+    from repro.errors import SimulationError
+    from repro.machine.topology import make_topology
+
+    try:
+        make_topology(value, 4)
+    except SimulationError as exc:
+        return str(exc)
+    return None
+
+
+def _topology(default: str) -> ParamSpec:
+    return ParamSpec(
+        "topology", "str", default,
+        "interconnect spec: flat | ring | fattree[:arity=A,fatness=F]",
+        validator=_check_topology,
+    )
+
+
 _EM3D_VERSIONS = ("base", "ghost", "bulk")
 
 _REGISTRY: dict[str, ExperimentSpec] = {}
@@ -288,6 +309,7 @@ register(ExperimentSpec(
         ParamSpec("versions", "strs", _EM3D_VERSIONS, "EM3D variants",
                   choices=_EM3D_VERSIONS),
         ParamSpec("steps", "int", 1, "measured EM3D steps"),
+        _topology("flat"),
     ),
     cost_hint=2.0,
 ))
@@ -386,11 +408,28 @@ register(ExperimentSpec(
     params=(_iters(50), _quick()),
     cost_hint=0.2,
 ))
+register(ExperimentSpec(
+    name="congestion",
+    title="Congestion — saturation / incast / bisection on hierarchical fabrics",
+    module="repro.experiments.congestion",
+    result_type="CongestionResult",
+    params=(
+        ParamSpec("nodes", "int", 64, "cluster size (even, >= 4)",
+                  validator=lambda v: None if v >= 4 and v % 2 == 0
+                  else "needs an even node count >= 4"),
+        _topology("fattree:arity=8,fatness=2"),
+        ParamSpec("loads", "ints", (1, 2, 4, 8, 16),
+                  "messages per pair at each load level"),
+        ParamSpec("msg_bytes", "int", 4096, "payload bytes per message"),
+    ),
+    cost_hint=1.5,
+))
 
 #: canonical artifact order — `run all` output follows this
 ARTIFACT_NAMES: tuple[str, ...] = (
     "table1", "table4", "figure5", "figure6", "nexus", "ablations",
     "faults", "chaos", "scaling", "scorecard", "trace", "metrics",
+    "congestion",
 )
 
 

@@ -33,6 +33,7 @@ ARTIFACTS = (
     "scaling",
     "scorecard",
     "metrics",
+    "congestion",
     "trace",
 )
 
@@ -67,6 +68,7 @@ def _csv_writers() -> dict[str, Callable[[Any], str]]:
         "figure5": export.figure5_csv,
         "figure6": export.figure6_csv,
         "metrics": lambda result: result.csv(),
+        "congestion": lambda result: result.csv(),
     }
 
 

@@ -7,11 +7,20 @@
   deterministic in-order delivery per (src, dst) pair.
 * :mod:`repro.machine.faults` — seeded fault injection: packet drop /
   duplicate / delay rules and scheduled node outages.
+* :mod:`repro.machine.topology` — interconnect shapes (flat crossbar,
+  fat-tree, ring) with per-link contention accounting.
 * :mod:`repro.machine.cluster` — builds a ready-to-run machine.
 """
 
 from repro.machine.cluster import Cluster
 from repro.machine.faults import FaultPlan, FaultRule, NodeFault
+from repro.machine.topology import (
+    FatTreeTopology,
+    FlatTopology,
+    RingTopology,
+    Topology,
+    make_topology,
+)
 from repro.machine.costs import (
     MPL_COSTS,
     NEXUS_COSTS,
@@ -39,4 +48,9 @@ __all__ = [
     "FaultPlan",
     "FaultRule",
     "NodeFault",
+    "Topology",
+    "FlatTopology",
+    "FatTreeTopology",
+    "RingTopology",
+    "make_topology",
 ]

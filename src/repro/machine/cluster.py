@@ -10,6 +10,7 @@ from repro.machine.costs import SP2_COSTS, CostModel
 from repro.machine.faults import FaultPlan
 from repro.machine.network import Network
 from repro.machine.node import Node
+from repro.machine.topology import Topology, make_topology
 from repro.sim.account import Counters, TimeAccount
 from repro.sim.engine import Simulator, Watchdog
 from repro.sim.trace import Tracer
@@ -46,11 +47,24 @@ class Cluster:
         fast_path: bool = True,
         faults: FaultPlan | None = None,
         metrics: Any | None = None,
+        topology: Topology | str | None = None,
     ):
         if n_nodes < 1:
             raise SimulationError(f"cluster needs >= 1 node, got {n_nodes}")
         costs.validate()
         self.costs = costs
+        # topology accepts a spec string ("flat", "ring",
+        # "fattree:arity=8,fatness=2") or a prebuilt Topology sized to this
+        # cluster; None keeps the historical contention-free crossbar
+        if isinstance(topology, str):
+            topology = make_topology(topology, n_nodes)
+        elif topology is not None and topology.n_nodes != n_nodes:
+            raise SimulationError(
+                f"topology sized for {topology.n_nodes} nodes on a "
+                f"{n_nodes}-node cluster"
+            )
+        #: the interconnect shape (None = legacy flat crossbar)
+        self.topology = topology
         #: the tracer shared by every node/network (None = untraced);
         #: runtimes probe it for the span capability
         self.tracer = tracer
@@ -60,7 +74,9 @@ class Cluster:
         # fast_path=False forces the general heap-only engine; results are
         # bit-identical (the golden-trace suite holds us to that)
         self.sim = Simulator(fast_path=fast_path)
-        self.network = Network(self.sim, tracer=tracer, faults=faults, metrics=metrics)
+        self.network = Network(
+            self.sim, tracer=tracer, faults=faults, metrics=metrics, topology=topology
+        )
         self.nodes: list[Node] = []
         for nid in range(n_nodes):
             node = Node(nid, self.sim, costs, tracer=tracer, metrics=metrics)
@@ -202,6 +218,13 @@ class Cluster:
         faults = self.network.faults
         if faults is not None and not faults.empty:
             lines.append(f"faults: {faults!r}")
+        if self.topology is not None and self.topology.contention:
+            lines.append(f"topology: {self.topology.describe()}")
+            for s in self.topology.hot_links(3):
+                lines.append(
+                    f"  hot link {s['link']}: busy={s['busy_us']:.1f}us "
+                    f"queued={s['queued_us']:.1f}us pkts={s['packets']}"
+                )
         detector = self.nodes[0].services.get("ft-detector") if self.nodes else None
         if detector is not None:
             lines.append(f"membership: {detector.describe()}")

@@ -14,6 +14,15 @@ purpose: matching packets can be dropped, duplicated, or delayed, and
 whole nodes can go dark for scheduled windows.  With ``faults=None`` (the
 default) the delivery path is byte-identical to the original reliable
 fabric — the golden-trace suite holds us to that.
+
+A :class:`~repro.machine.topology.Topology` with contention replaces the
+fixed per-byte serialization with per-link occupancy accounting: the
+packet walks its route's links, queueing behind earlier traffic
+(``busy_until`` timestamps), so hotspots slow down instead of
+teleporting.  ``topology=None`` or a :class:`FlatTopology` keeps the
+legacy formula bit-for-bit.  Either way the contention delay is NET-side
+wire time — it widens the send-to-deliver gap, never a CPU charge, so
+the paper's AM-vs-runtime cost split is untouched.
 """
 
 from __future__ import annotations
@@ -87,6 +96,7 @@ class Network:
         tracer: Tracer | None = None,
         faults: FaultPlan | None = None,
         metrics: Any | None = None,
+        topology: Any | None = None,
     ):
         self.sim = sim
         self.tracer: Tracer = tracer if tracer is not None else NullTracer()
@@ -95,6 +105,16 @@ class Network:
         # are off (one is-None test per transmit)
         self._h_bytes = (
             None if metrics is None else metrics.histogram(MetricNames.MSG_BYTES)
+        )
+        self._h_queue = (
+            None if metrics is None else metrics.histogram(MetricNames.LINK_QUEUE)
+        )
+        #: the fabric shape (instrumentation; may be a contention-free flat)
+        self.topology = topology
+        # contended topology or None: None takes the legacy delivery path,
+        # which stays byte-identical to the pre-topology network
+        self._topo = (
+            topology if (topology is not None and topology.contention) else None
         )
         self._nodes: dict[int, Any] = {}
         #: fault-injection plan; None (or an empty plan) = perfect fabric
@@ -149,10 +169,26 @@ class Network:
         net_costs = src.costs.net
         # inlined short/bulk_wire_time: one transmit per simulated message
         nbytes = packet.nbytes
-        wire = net_costs.wire_latency + nbytes * (
-            net_costs.per_byte_bulk if bulk else net_costs.per_byte
-        )
         now = self.sim._now
+        topo = self._topo
+        if topo is None:
+            wire = net_costs.wire_latency + nbytes * (
+                net_costs.per_byte_bulk if bulk else net_costs.per_byte
+            )
+        else:
+            # contended fabric: serialization happens link by link along
+            # the route, queued behind whatever got there first; the
+            # launch latency is still the fixed per-packet cost
+            delay, queued = topo.occupy(
+                packet.src,
+                packet.dst,
+                nbytes,
+                net_costs.per_byte_bulk if bulk else net_costs.per_byte,
+                now,
+            )
+            wire = net_costs.wire_latency + delay
+            if self._h_queue is not None:
+                self._h_queue.record(queued)
         packet.send_time = now
         packet.arrival_time = now + wire
         self.packets_sent += 1

@@ -197,6 +197,9 @@ class MetricNames:
     RETX_DELAY = "am.retx_delay_us"         # reliable sublayer: expiring rto
     RUNQ_DEPTH = "sched.runq_depth"         # ready threads at dispatch
     MSG_BYTES = "net.msg_bytes"             # per-packet bytes at transmit
+    LINK_QUEUE = "net.link_queue_us"        # per-packet queueing behind busy links
+    LINK_MAX_UTIL = "net.link_max_util"     # gauge: busiest link's busy fraction
+    LINK_QUEUED_TOTAL = "net.link_queued_us_total"  # gauge: sum of link queue time
     SC_READ = "splitc.read_us"              # blocking remote read latency
     POOL_HIT_RATE = "pool.hit_rate"         # gauge: warm leases / leases
     POOL_LEASES = "pool.leases"             # gauge
@@ -219,3 +222,7 @@ def collect_cluster_gauges(metrics: Metrics, cluster) -> None:
         metrics.gauge(f"engine.{key}", float(value))
     for key, value in cluster.sim.queue_stats().items():
         metrics.gauge(f"engine.queue.{key}", float(value))
+    topo = getattr(cluster, "topology", None)
+    if topo is not None and topo.contention:
+        metrics.gauge(MetricNames.LINK_MAX_UTIL, topo.max_utilization(cluster.sim.now))
+        metrics.gauge(MetricNames.LINK_QUEUED_TOTAL, topo.total_queued_us())
