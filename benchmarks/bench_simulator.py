@@ -92,3 +92,15 @@ def test_em3d_batched_step_rate(benchmark):
         iterations=1,
     )
     assert res.elapsed_us > 0
+
+
+@pytest.mark.benchmark(group="simulator-throughput")
+def test_rma_put_roundtrip_rate(benchmark):
+    now, _ = _bench(benchmark, "rma_put_roundtrip")
+    assert now > 0
+
+
+@pytest.mark.benchmark(group="simulator-throughput")
+def test_tree_allreduce_rate(benchmark):
+    now, _ = _bench(benchmark, "tree_allreduce")
+    assert now > 0

@@ -368,3 +368,62 @@ def bulk_payload(stats_out: dict | None = None) -> int:
     if stats_out is not None:
         stats_out.update(cluster.sim.fastpath_stats())
     return done["reads"]
+
+
+@scenario("rma_put_roundtrip")
+def rma_put_roundtrip(stats_out: dict | None = None) -> float:
+    """100 put + wait-for-remote-completion round trips against a
+    registered window: the full one-sided path (issue charge, short
+    frame, NIC-level placement at the target, ``rma.done`` control
+    notification back) with a pure-polling daemon target."""
+    from repro.machine.cluster import Cluster
+    from repro.rma import install_rma
+
+    cluster = Cluster(2)
+    rt = install_rma(cluster)
+    out: dict = {}
+
+    def target(proc):
+        yield from proc.register("bench.win", 8)
+        while True:
+            yield from proc.ep.wait_and_poll()
+
+    def main(proc):
+        for _ in range(100):
+            h = yield from proc.put(1, "bench.win", 0, [1.0, 2.0])
+            yield from proc.wait_remote(h)
+        out["now"] = proc.node.sim.now
+
+    cluster.launch(1, target(rt.process(1)), daemon=True)
+    cluster.launch(0, main(rt.process(0)))
+    cluster.run()
+    if stats_out is not None:
+        stats_out.update(cluster.sim.fastpath_stats())
+    return out["now"]
+
+
+@scenario("tree_allreduce")
+def tree_allreduce(stats_out: dict | None = None) -> float:
+    """20 tree-allreduce rounds on 8 processors (radix 2): prices the
+    epoch-keyed fan-in/fan-out where interior relays run inside AM
+    handlers rather than on application threads."""
+    from repro.machine.cluster import Cluster
+    from repro.splitc import SplitCRuntime
+    from repro.splitc.collective import make_tree
+
+    cluster = Cluster(8)
+    rt = SplitCRuntime(cluster)
+    tree = make_tree(rt, radix=2)
+    sums: list = []
+
+    def prog(proc):
+        for r in range(20):
+            got = yield from tree.allreduce(proc.my_node, float(proc.my_node + r))
+            if proc.my_node == 0:
+                sums.append(got)
+
+    rt.run_spmd(prog, name="bench-tree")
+    assert len(sums) == 20 and sums[0] == 28.0
+    if stats_out is not None:
+        stats_out.update(cluster.sim.fastpath_stats())
+    return cluster.sim.now

@@ -330,6 +330,41 @@ class AMEndpoint:
         if self._polling and not in_handler:
             yield from self.poll()
 
+    def control_send(
+        self,
+        dst: int,
+        handler: str,
+        args: tuple[Any, ...] = (),
+        data: bytes | bytearray | memoryview = b"",
+        *,
+        nbytes: int,
+        bulk: bool = False,
+    ) -> None:
+        """NIC-level send (event context — accounts CPU directly, never
+        yields effects, never occupies a thread).
+
+        This is how RDMA-style completion notifications and one-sided
+        data replies leave a node: the NIC issues them, so they cost NET
+        time on this node's account but no thread ever runs them — the
+        same discipline as the reliability sublayer's :meth:`_send_ack`.
+        Unlike acks they carry a real handler frame and (when reliable)
+        ride the sequenced channel, so a lossy fabric retransmits them.
+        Exempt from flow control, like all protocol control traffic.
+        """
+        net = self.node.costs.net
+        cost = net.short_send_cpu + (net.bulk_setup_cpu if bulk else 0.0)
+        self.node.charge(Category.NET, cost)
+        self.node.counters.counts[
+            CounterNames.MSG_BULK if bulk else CounterNames.MSG_SHORT
+        ] += 1
+        self._inject(
+            dst,
+            KIND_BULK if bulk else KIND_SHORT,
+            AMFrame(handler, args, data),
+            nbytes,
+            bulk=bulk,
+        )
+
     def _inject(
         self, dst: int, kind: str, payload: Any, nbytes: int, *, bulk: bool = False
     ) -> None:

@@ -18,6 +18,7 @@ from repro.apps.em3d.ccpp_impl import run_ccpp_em3d
 from repro.apps.em3d.graph import Em3dGraph, Em3dParams
 from repro.apps.em3d.recovery import CheckpointStore, RecoveryResult, run_recovering_em3d
 from repro.apps.em3d.reference import reference_steps
+from repro.apps.em3d.rma_impl import run_rma_em3d
 from repro.apps.em3d.splitc_impl import run_splitc_em3d
 
 __all__ = [
@@ -26,6 +27,7 @@ __all__ = [
     "reference_steps",
     "run_splitc_em3d",
     "run_ccpp_em3d",
+    "run_rma_em3d",
     "run_recovering_em3d",
     "RecoveryResult",
     "CheckpointStore",

@@ -19,7 +19,28 @@ from repro.ccpp.procobj import ProcessorObject, remote
 from repro.ccpp.registry import processor_class
 from repro.threads.sync import Condition, Lock
 
-__all__ = ["CCBarrier", "CCReducer"]
+__all__ = ["CCBarrier", "CCReducer", "make_tree", "tree_allreduce", "tree_barrier"]
+
+
+def make_tree(rt: Any, *, radix: int = 2):
+    """A :class:`~repro.rma.tree.TreeComm` sharing this CC++ runtime's AM
+    endpoints — the O(log P) alternative to the hosted single-node
+    :class:`CCBarrier`/:class:`CCReducer` objects, whose root serializes
+    all P arrivals on one NIC."""
+    from repro.rma.tree import TreeComm
+
+    return TreeComm(rt.endpoints, radix=radix)
+
+
+def tree_allreduce(ctx: Any, tree, value: float) -> Generator[Any, Any, float]:
+    """Tree equivalent of a :class:`CCReducer` round, callable from any
+    node's context (no hosted object, no lock convoy at the root)."""
+    return (yield from tree.allreduce(ctx.nid, value))
+
+
+def tree_barrier(ctx: Any, tree) -> Generator[Any, Any, None]:
+    """Tree equivalent of a :class:`CCBarrier` round."""
+    yield from tree.barrier(ctx.nid)
 
 
 @processor_class
@@ -65,8 +86,13 @@ class CCReducer(ProcessorObject):
         self.nprocs = nprocs
         self.pending = 0
         self.acc = 0.0
-        self.round_total = 0.0
         self.round_no = 0
+        #: per-round totals, kept until every participant has read its
+        #: round.  A single shared slot raced: a waiter woken for round r
+        #: could sit in the lock queue long enough for round r+1 to
+        #: complete and overwrite the slot before the waiter read it.
+        self._totals: dict[int, float] = {}
+        self._readers: dict[int, int] = {}
         self._lock = Lock(self.ctx.node, "cc-reducer")
         self._cond = Condition(self._lock)
 
@@ -77,7 +103,8 @@ class CCReducer(ProcessorObject):
         self.acc += value
         self.pending += 1
         if self.pending == self.nprocs:
-            self.round_total = self.acc
+            self._totals[my_round] = self.acc
+            self._readers[my_round] = self.nprocs
             self.acc = 0.0
             self.pending = 0
             self.round_no += 1
@@ -85,6 +112,10 @@ class CCReducer(ProcessorObject):
         else:
             while self.round_no == my_round:
                 yield from self._cond.wait()
-        total = self.round_total
+        total = self._totals[my_round]
+        self._readers[my_round] -= 1
+        if self._readers[my_round] == 0:
+            del self._totals[my_round]
+            del self._readers[my_round]
         yield from self._lock.release()
         return total

@@ -424,12 +424,35 @@ register(ExperimentSpec(
     ),
     cost_hint=1.5,
 ))
+register(ExperimentSpec(
+    name="rma",
+    title="One-sided RMA — completions, tree collectives, injection, EM3D",
+    module="repro.experiments.rma",
+    result_type="RmaResult",
+    params=(
+        _iters(30), _quick(), _seed(),
+        ParamSpec("procs", "ints", (2, 4, 8),
+                  "processor counts for the tree-vs-linear grid",
+                  validator=lambda v: None if all(p >= 1 for p in v)
+                  else "needs processor counts >= 1"),
+        ParamSpec("radix", "int", 2, "tree fan-out",
+                  validator=lambda v: None if v >= 1 else "needs radix >= 1"),
+        ParamSpec("comm", "str", "rma",
+                  "EM3D ghost-exchange paradigm (a sweepable axis)",
+                  choices=("rma", "rmi", "splitc")),
+        ParamSpec("threads", "ints", (1, 2, 4, 8),
+                  "concurrent sender uthreads for the injection section",
+                  validator=lambda v: None if all(t >= 1 for t in v)
+                  else "needs thread counts >= 1"),
+    ),
+    cost_hint=0.8,
+))
 
 #: canonical artifact order — `run all` output follows this
 ARTIFACT_NAMES: tuple[str, ...] = (
     "table1", "table4", "figure5", "figure6", "nexus", "ablations",
     "faults", "chaos", "scaling", "scorecard", "trace", "metrics",
-    "congestion",
+    "congestion", "rma",
 )
 
 

@@ -34,6 +34,7 @@ ARTIFACTS = (
     "scorecard",
     "metrics",
     "congestion",
+    "rma",
     "trace",
 )
 
@@ -69,6 +70,7 @@ def _csv_writers() -> dict[str, Callable[[Any], str]]:
         "figure6": export.figure6_csv,
         "metrics": lambda result: result.csv(),
         "congestion": lambda result: result.csv(),
+        "rma": lambda result: result.csv(),
     }
 
 

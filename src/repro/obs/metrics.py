@@ -204,6 +204,9 @@ class MetricNames:
     POOL_HIT_RATE = "pool.hit_rate"         # gauge: warm leases / leases
     POOL_LEASES = "pool.leases"             # gauge
     DETECT_SILENCE = "ft.detect_silence_us" # silence observed when declaring death
+    RMA_REGISTER = "rma.register_us"        # window registration (pin + publish)
+    RMA_REMOTE = "rma.remote_us"            # issue -> remote-completion latency
+    RMA_INFLIGHT = "rma.inflight"           # outstanding one-sided ops at issue
 
 
 def collect_cluster_gauges(metrics: Metrics, cluster) -> None:

@@ -197,3 +197,9 @@ class CounterNames:
     RMI_LATE_REPLY = "ccpp.rmi.late_reply"  # replies dropped for abandoned slots
     CKPT_WRITE = "recovery.ckpt.write"      # checkpoint snapshots written
     CKPT_RESTORE = "recovery.ckpt.restore"  # restarts replayed from a checkpoint
+    # one-sided RMA layer
+    RMA_WINDOWS = "rma.windows"             # memory windows registered
+    RMA_PUT = "rma.put"                     # one-sided puts issued
+    RMA_GET = "rma.get"                     # one-sided gets issued
+    RMA_ACC = "rma.acc"                     # one-sided accumulates issued
+    RMA_NOTIFY = "rma.notify"               # target-side notification bumps

@@ -35,6 +35,10 @@ __all__ = [
     "all_reduce_add",
     "all_store_sync",
     "all_gather",
+    "make_tree",
+    "tree_broadcast",
+    "tree_all_reduce_add",
+    "tree_barrier",
 ]
 
 #: per-node scratch region used by the collectives
@@ -52,8 +56,20 @@ def _scratch_size(nprocs: int) -> int:
 
 
 def ensure_scratch(runtime, size: int | None = None) -> None:
-    """Allocate the collectives' scratch region on every node (idempotent)."""
-    need = size if size is not None else _scratch_size(runtime.nprocs)
+    """Allocate the collectives' scratch region on every node (idempotent).
+
+    An explicit ``size`` below what the collectives index on this many
+    processors is rejected here — accepting it would let every
+    collective pass allocation and fail (or silently corrupt) later at
+    the first gather past the end of the region.
+    """
+    floor = _scratch_size(runtime.nprocs)
+    if size is not None and size < floor:
+        raise RuntimeStateError(
+            f"collective scratch size {size} < required {floor} for "
+            f"{runtime.nprocs} processors"
+        )
+    need = size if size is not None else floor
     for nid in range(runtime.nprocs):
         mem = runtime.memory(nid)
         if not mem.has_region(SCRATCH_REGION):
@@ -68,19 +84,28 @@ def ensure_scratch(runtime, size: int | None = None) -> None:
 def broadcast(proc: SCProcess, root: int, value: float) -> Generator[Any, Any, float]:
     """Every processor returns ``value`` as seen by ``root``.
 
-    Root pushes value+flag with one-way stores; receivers spin on the
-    flag slot, then clear it for the next round.
+    Root pushes value and flag to the two adjacent scratch slots with
+    ONE accumulating store per receiver: a single message is applied
+    atomically at the target, so the flag can never become visible
+    before the value.  (Two separate stores raced: an unreliable fabric
+    under delay/jitter reorders same-channel packets, and a receiver
+    that saw the flag first returned the stale value.)  Receivers spin
+    on the flag slot, then clear both slots for the next round — the
+    scratch starts each round at zero, so ``+= value`` equals a plain
+    store.
     """
     scratch = proc.local(SCRATCH_REGION)
     if proc.my_node == root:
         for q in range(proc.nprocs):
             if q != root:
-                yield from proc.store(proc.gptr(q, SCRATCH_REGION, _BCAST_VAL), value)
-                yield from proc.store(proc.gptr(q, SCRATCH_REGION, _BCAST_FLAG), 1.0)
+                yield from proc.store_add(
+                    proc.gptr(q, SCRATCH_REGION, _BCAST_VAL), (value, 1.0)
+                )
         out = float(value)
     else:
         yield from proc.ep.poll_until(lambda: scratch[_BCAST_FLAG] == 1.0)
         out = float(scratch[_BCAST_VAL])
+        scratch[_BCAST_VAL] = 0.0
         scratch[_BCAST_FLAG] = 0.0
     yield from proc.barrier()
     return out
@@ -136,6 +161,31 @@ def all_store_sync(proc: SCProcess) -> Generator[Any, Any, None]:
             return
         # stores still in flight: service the inbox and try again
         yield from proc.poll()
+
+
+def make_tree(runtime, *, radix: int = 2):
+    """A :class:`~repro.rma.tree.TreeComm` sharing this runtime's AM
+    endpoints — the O(log P) replacement for the linear collectives
+    above.  Construct once (it registers the tree handlers), then use
+    the ``tree_*`` wrappers from SPMD programs."""
+    from repro.rma.tree import TreeComm
+
+    return TreeComm(runtime.endpoints, radix=radix)
+
+
+def tree_broadcast(proc: SCProcess, tree, root: int, value: float) -> Generator[Any, Any, float]:
+    """Tree equivalent of :func:`broadcast` (same result, O(log P) rounds)."""
+    return (yield from tree.bcast(proc.my_node, root, value))
+
+
+def tree_all_reduce_add(proc: SCProcess, tree, value: float) -> Generator[Any, Any, float]:
+    """Tree equivalent of :func:`all_reduce_add`."""
+    return (yield from tree.allreduce(proc.my_node, value))
+
+
+def tree_barrier(proc: SCProcess, tree) -> Generator[Any, Any, None]:
+    """Tree barrier (vs the counter protocol through node 0)."""
+    yield from tree.barrier(proc.my_node)
 
 
 def all_gather(proc: SCProcess, value: float) -> Generator[Any, Any, np.ndarray]:

@@ -67,7 +67,7 @@ class TestParamSpec:
 
 class TestBuiltinRegistry:
     def test_every_artifact_registered(self):
-        assert len(registry.ARTIFACT_NAMES) == 13
+        assert len(registry.ARTIFACT_NAMES) == 14
         for name in registry.ARTIFACT_NAMES:
             spec = registry.get(name)
             assert spec.name == name
