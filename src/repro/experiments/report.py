@@ -8,16 +8,23 @@ render (``.txt``) plus, where defined, the machine-readable CSV
 ``repro-experiments ... --out DIR`` and handy for archiving a full
 reproduction run.  File contents depend only on the results (never on
 scheduling), so a ``jobs=4`` report is byte-identical to a serial one.
+
+The run goes through the in-process
+:class:`~repro.service.client.ExperimentClient`, so alongside the
+rendered artifacts the report directory gets ``manifest.json`` — the
+job's versioned :class:`~repro.experiments.serde.JobRecord` (per-task
+params, cache-hit counts, and every result payload), enough to rebuild
+any serializable artifact without re-running it.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 from typing import Any, Callable
 
 from repro.experiments import export, registry
 from repro.experiments.cache import ResultCache
-from repro.experiments.runner import Task, run_tasks
 
 __all__ = ["write_all", "ARTIFACTS", "standard_overrides"]
 
@@ -85,20 +92,25 @@ def write_all(
     refresh: bool = False,
 ) -> list[Path]:
     """Regenerate ``artifacts`` into ``out_dir``; returns written paths."""
+    from repro.service.client import ExperimentClient
+
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
 
     specs = [registry.get(_ALIASES.get(name, name)) for name in artifacts]
-    tasks = [
-        Task(spec, spec.validate(standard_overrides(spec, quick=quick, iters=iters)))
-        for spec in specs
-    ]
-    outcomes = run_tasks(tasks, jobs=jobs, cache=cache, refresh=refresh)
+    client = ExperimentClient.in_process(jobs=jobs, cache=cache, refresh=refresh)
+    job_id = client.submit(
+        tasks=[
+            (spec.name, standard_overrides(spec, quick=quick, iters=iters))
+            for spec in specs
+        ]
+    )
+    results = client.result(job_id)
+    record = client.status(job_id)
 
     csv_writers = _csv_writers()
     written: list[Path] = []
-    for outcome in outcomes:
-        spec, result = outcome.task.spec, outcome.result
+    for spec, result in zip(specs, results):
         if spec.name == "trace":
             _write_text(out, "trace_summary.txt", spec.render(result), written)
             written.append(result.write(out / "trace.json"))
@@ -108,4 +120,10 @@ def write_all(
             _write_text(
                 out, f"{spec.file_stem}.csv", csv_writers[spec.name](result), written
             )
+    manifest = out / "manifest.json"
+    manifest.write_text(
+        json.dumps(record.to_json(), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    written.append(manifest)
     return written

@@ -26,7 +26,14 @@ from typing import Any
 from repro.experiments.registry import ExperimentSpec
 from repro.experiments.runner import Task, TaskOutcome
 
-__all__ = ["grid_tasks", "sweep_csv", "render_sweep", "numeric_summary"]
+__all__ = [
+    "grid_tasks",
+    "sweep_csv",
+    "job_sweep_csv",
+    "render_sweep",
+    "render_points",
+    "numeric_summary",
+]
 
 #: cap on auto-derived summary columns, so a sweep CSV stays readable
 _MAX_SUMMARY_COLUMNS = 48
@@ -53,7 +60,9 @@ def grid_tasks(
 
 
 def _fmt(value: Any) -> str:
-    if isinstance(value, tuple):
+    # lists appear when a point came back through the JSON job envelope
+    # (tuples have no JSON form); both render the same CSV cell
+    if isinstance(value, (tuple, list)):
         return ",".join(str(v) for v in value)
     return str(value)
 
@@ -103,13 +112,11 @@ def _summaries(outcomes: Sequence[TaskOutcome]) -> list[dict[str, float]]:
     return rows
 
 
-def sweep_csv(
-    axes: Mapping[str, Sequence[Any]], outcomes: Sequence[TaskOutcome]
+def _csv_table(
+    names: Sequence[str],
+    points: Sequence[Sequence[Any]],
+    summaries: Sequence[Mapping[str, float]],
 ) -> str:
-    """The merged sweep table: axis columns, then the union of every
-    point's numeric-summary columns (first-seen order)."""
-    names = list(axes)
-    summaries = _summaries(outcomes)
     columns: list[str] = []
     for row in summaries:
         for key in row:
@@ -117,15 +124,50 @@ def sweep_csv(
                 columns.append(key)
     out = io.StringIO()
     w = csv.writer(out)
-    w.writerow(names + columns)
-    for outcome, row in zip(outcomes, summaries):
-        point = [
-            _fmt(outcome.task.params[n]) for n in names
-        ]
-        w.writerow(point + [
-            ("" if key not in row else f"{row[key]:g}") for key in columns
-        ])
+    w.writerow(list(names) + columns)
+    for point, row in zip(points, summaries):
+        w.writerow(
+            [_fmt(v) for v in point]
+            + [("" if key not in row else f"{row[key]:g}") for key in columns]
+        )
     return out.getvalue()
+
+
+def sweep_csv(
+    axes: Mapping[str, Sequence[Any]], outcomes: Sequence[TaskOutcome]
+) -> str:
+    """The merged sweep table: axis columns, then the union of every
+    point's numeric-summary columns (first-seen order)."""
+    names = list(axes)
+    return _csv_table(
+        names,
+        [[o.task.params[n] for n in names] for o in outcomes],
+        _summaries(outcomes),
+    )
+
+
+def job_sweep_csv(axes: Mapping[str, Sequence[Any]], record: Any) -> str:
+    """:func:`sweep_csv` from a :class:`~repro.experiments.serde.JobRecord`
+    instead of live outcomes — the point values come from the record's
+    per-task params and the summary columns from its stored result
+    payloads, so a daemon-side sweep exports the identical CSV."""
+    names = list(axes)
+    payloads = record.results or [None] * len(record.params)
+    return _csv_table(
+        names,
+        [[params[n] for n in names] for params in record.params],
+        [numeric_summary(p) if p is not None else {} for p in payloads],
+    )
+
+
+def render_points(
+    spec: ExperimentSpec, labels: Sequence[str], results: Sequence[Any]
+) -> str:
+    """Every point's render under its label header, in grid order."""
+    return "\n\n".join(
+        f"--- {label} ---\n{spec.render(result)}"
+        for label, result in zip(labels, results)
+    )
 
 
 def render_sweep(
@@ -134,7 +176,6 @@ def render_sweep(
     outcomes: Sequence[TaskOutcome],
 ) -> str:
     """Every point's render under a parameter header, in grid order."""
-    sections = []
-    for o in outcomes:
-        sections.append(f"--- {o.task.label} ---\n{spec.render(o.result)}")
-    return "\n\n".join(sections)
+    return render_points(
+        spec, [o.task.label for o in outcomes], [o.result for o in outcomes]
+    )

@@ -1,0 +1,24 @@
+"""The experiment service: a daemon serving the job queue, plus the
+typed client facade.
+
+* :mod:`repro.service.protocol` — address parsing and the JSONL wire
+  format shared by daemon and client;
+* :mod:`repro.service.server` — :class:`ExperimentService`, the
+  long-running daemon behind ``repro-experiments serve``;
+* :mod:`repro.service.client` — :class:`ExperimentClient`, one typed
+  ``submit``/``result``/``stream`` surface that works in-process (no
+  daemon) or against a running daemon.
+"""
+
+from repro.service.client import ExperimentClient
+from repro.service.protocol import default_address, parse_address
+from repro.service.server import ExperimentService, ServiceConfig, ServiceError
+
+__all__ = [
+    "ExperimentClient",
+    "ExperimentService",
+    "ServiceConfig",
+    "ServiceError",
+    "default_address",
+    "parse_address",
+]

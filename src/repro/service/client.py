@@ -1,0 +1,396 @@
+"""`ExperimentClient` — one typed surface for running experiments.
+
+The same ``submit`` / ``status`` / ``result`` / ``stream`` calls work
+against two backends:
+
+* **in-process** (``ExperimentClient.in_process(...)``) — no daemon:
+  ``submit`` validates, expands sweeps, and executes immediately
+  through the same process-pool runner and result cache the CLI always
+  used, then records the job's event log so ``stream``/``status``
+  replay exactly what a daemon would have sent.  The ``run``/``sweep``
+  CLI subcommands are thin wrappers over this backend, which is why
+  their stdout is unchanged.
+* **daemon** (``ExperimentClient.connect(address)``) — every call is
+  one JSONL exchange with a running ``repro-experiments serve``
+  (:mod:`repro.service.protocol`); ``stream`` tails the job live.
+
+Results come back as live result objects either way: the daemon path
+reconstructs them with each spec's ``from_json`` — the identical
+round trip the result cache has always performed, so rendering is
+byte-identical to a local run.
+"""
+
+from __future__ import annotations
+
+import getpass
+import os
+import time
+from typing import Any, Iterator, Sequence
+
+from repro.experiments import registry
+from repro.experiments.cache import ResultCache
+from repro.experiments.runner import Task, run_tasks
+from repro.experiments.serde import JobEvent, JobRecord
+from repro.experiments.sweep import grid_tasks, numeric_summary
+
+__all__ = ["ExperimentClient"]
+
+#: (artifact, param overrides, label) — the submit unit
+TaskRequest = "tuple[str, dict | None, str]"
+
+
+def _whoami() -> str:
+    try:
+        user = getpass.getuser()
+    except Exception:
+        user = "client"
+    return f"{user}@{os.getpid()}"
+
+
+class _InProcessJobs:
+    """The no-daemon backend: run at submit, replay on demand."""
+
+    def __init__(
+        self,
+        *,
+        jobs: int = 1,
+        cache: ResultCache | None = None,
+        refresh: bool = False,
+        progress=None,
+    ):
+        self.jobs = jobs
+        self.cache = cache
+        self.refresh = refresh
+        self.progress = progress
+        self._seq = 0
+        self._records: dict[str, JobRecord] = {}
+        self._events: dict[str, list[JobEvent]] = {}
+        self._results: dict[str, list[Any]] = {}
+
+    def submit(
+        self, tasks: list[Task], *, artifact: str, priority: int, client: str
+    ) -> str:
+        self._seq += 1
+        job_id = f"local-{self._seq:04d}"
+        record = JobRecord(
+            job_id=job_id,
+            client=client,
+            artifact=artifact,
+            priority=priority,
+            artifacts=[t.spec.name for t in tasks],
+            params=[t.params for t in tasks],
+            labels=[t.label for t in tasks],
+            submitted_s=time.time(),
+            tasks_total=len(tasks),
+            state="running",
+        )
+        events: list[JobEvent] = []
+
+        def emit(kind: str, data: dict) -> None:
+            events.append(JobEvent(
+                kind=kind, job_id=job_id, seq=len(events), data=data,
+            ))
+
+        emit("job.queued", {
+            "artifact": artifact, "tasks": len(tasks),
+            "priority": priority, "client": client,
+        })
+        kwargs = {} if self.progress is None else {"progress": self.progress}
+        outcomes = run_tasks(
+            tasks, jobs=self.jobs, cache=self.cache,
+            refresh=self.refresh, **kwargs,
+        )
+        payloads: list[Any] = []
+        for index, outcome in enumerate(outcomes):
+            payload = (
+                outcome.result.to_json()
+                if hasattr(outcome.result, "to_json") else None
+            )
+            payloads.append(payload)
+            if outcome.source == "cache":
+                record.cache_hits += 1
+                emit("task.cached", {"index": index, "label": outcome.task.label})
+            else:
+                emit("task.started", {"index": index, "label": outcome.task.label})
+            record.tasks_done += 1
+            emit("task.finished", {
+                "index": index, "label": outcome.task.label,
+                "source": outcome.source,
+            })
+            emit("row", {
+                "index": index, "label": outcome.task.label,
+                "artifact": outcome.task.spec.name,
+                "params": outcome.task.params,
+                "summary": numeric_summary(payload) if payload is not None else {},
+                "result": payload,
+            })
+        record.state = "done"
+        record.finished_s = time.time()
+        record.results = payloads
+        emit("job.done", {
+            "tasks": record.tasks_total,
+            "cache_hits": record.cache_hits,
+            "dedup_hits": record.dedup_hits,
+            "elapsed_s": record.finished_s - record.submitted_s,
+        })
+        self._records[job_id] = record
+        self._events[job_id] = events
+        self._results[job_id] = [o.result for o in outcomes]
+        return job_id
+
+    def _record(self, job_id: str) -> JobRecord:
+        record = self._records.get(job_id)
+        if record is None:
+            raise KeyError(f"unknown job '{job_id}'")
+        return record
+
+    def status(self, job_id: str) -> JobRecord:
+        return self._record(job_id)
+
+    def wait(self, job_id: str, timeout: float | None = None) -> JobRecord:
+        return self._record(job_id)
+
+    def events(self, job_id: str, from_seq: int = 0) -> list[JobEvent]:
+        self._record(job_id)
+        return self._events[job_id][from_seq:]
+
+    def stream(self, job_id: str, from_seq: int = 0) -> Iterator[JobEvent]:
+        yield from self.events(job_id, from_seq)
+
+    def results(self, job_id: str) -> list[Any]:
+        self._record(job_id)
+        return list(self._results[job_id])
+
+    def cancel(self, job_id: str) -> JobRecord:
+        return self._record(job_id)  # already terminal: cancel is a no-op
+
+    def list_jobs(self) -> list[JobRecord]:
+        return list(self._records.values())
+
+    def stats(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "backend": "in-process",
+            "jobs": self.jobs,
+            "counts": {"jobs_submitted": self._seq},
+        }
+        if self.cache is not None:
+            out["cache"] = {
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+                "stores": self.cache.stores,
+                "integrity_failures": self.cache.integrity_failures,
+            }
+        return out
+
+    def close(self) -> None:
+        pass
+
+
+class _DaemonJobs:
+    """The socket backend: every verb is one protocol exchange."""
+
+    def __init__(self, address: str, timeout: float | None = None):
+        from repro.service import protocol
+
+        self._protocol = protocol
+        self.address = address
+        self.timeout = timeout
+
+    def _request(self, payload: dict) -> dict:
+        return self._protocol.request(self.address, payload, self.timeout)
+
+    def submit(
+        self, tasks: list[Task], *, artifact: str, priority: int, client: str
+    ) -> str:
+        response = self._request({
+            "op": "submit",
+            "client": client,
+            "artifact": artifact,
+            "priority": priority,
+            "tasks": [
+                {"artifact": t.spec.name, "params": t.params, "label": t.label}
+                for t in tasks
+            ],
+        })
+        return response["job_id"]
+
+    def status(self, job_id: str) -> JobRecord:
+        return JobRecord.from_json(
+            self._request({"op": "status", "job_id": job_id})["job"]
+        )
+
+    def wait(self, job_id: str, timeout: float | None = None) -> JobRecord:
+        return JobRecord.from_json(
+            self._request({"op": "result", "job_id": job_id, "timeout": timeout})["job"]
+        )
+
+    def events(self, job_id: str, from_seq: int = 0) -> list[JobEvent]:
+        response = self._request(
+            {"op": "poll", "job_id": job_id, "from_seq": from_seq}
+        )
+        return [JobEvent.from_json(e) for e in response["events"]]
+
+    def stream(self, job_id: str, from_seq: int = 0) -> Iterator[JobEvent]:
+        for message in self._protocol.stream_request(
+            self.address, {"op": "stream", "job_id": job_id, "from_seq": from_seq}
+        ):
+            payload = message.get("event")
+            if payload is None:
+                continue  # header or error line, not an event
+            event = JobEvent.from_json(payload)
+            yield event
+            if event.terminal:
+                return
+
+    def results(self, job_id: str) -> list[Any]:
+        record = self.wait(job_id)
+        if not record.terminal:
+            raise TimeoutError(f"job {job_id} still {record.state}")
+        if record.state != "done":
+            raise RuntimeError(
+                f"job {job_id} {record.state}: {record.error or 'no results'}"
+            )
+        out = []
+        for spec_name, payload in zip(record.artifacts, record.results or []):
+            spec = registry.get(spec_name)
+            out.append(spec.result_from_json(payload))
+        return out
+
+    def cancel(self, job_id: str) -> JobRecord:
+        return JobRecord.from_json(
+            self._request({"op": "cancel", "job_id": job_id})["job"]
+        )
+
+    def list_jobs(self) -> list[JobRecord]:
+        return [
+            JobRecord.from_json(j)
+            for j in self._request({"op": "list-jobs"})["jobs"]
+        ]
+
+    def stats(self) -> dict[str, Any]:
+        return self._request({"op": "stats"})["stats"]
+
+    def close(self) -> None:
+        pass
+
+
+class ExperimentClient:
+    """The unified client.  Build with :meth:`in_process` or
+    :meth:`connect`; every verb behaves identically on both."""
+
+    def __init__(self, backend, *, client: str | None = None):
+        self._backend = backend
+        self.client = client or _whoami()
+
+    # -- constructors ----------------------------------------------------
+    @classmethod
+    def in_process(
+        cls,
+        *,
+        jobs: int = 1,
+        cache: ResultCache | None = None,
+        refresh: bool = False,
+        client: str | None = None,
+        progress=None,
+    ) -> "ExperimentClient":
+        return cls(
+            _InProcessJobs(jobs=jobs, cache=cache, refresh=refresh, progress=progress),
+            client=client,
+        )
+
+    @classmethod
+    def connect(
+        cls,
+        address: str | None = None,
+        *,
+        timeout: float | None = None,
+        client: str | None = None,
+    ) -> "ExperimentClient":
+        from repro.service.protocol import default_address
+
+        return cls(
+            _DaemonJobs(address or default_address(), timeout), client=client
+        )
+
+    # -- submission ------------------------------------------------------
+    def submit(
+        self,
+        artifact: str | None = None,
+        params: dict | None = None,
+        *,
+        axes: dict[str, Sequence[Any]] | None = None,
+        tasks: Sequence[tuple[str, dict | None]] | None = None,
+        priority: int = 0,
+    ) -> str:
+        """Queue work and return its job id.
+
+        Three shapes: ``submit("table4", {"iters": 5})`` runs one
+        artifact; ``submit("faults", fixed, axes={"drops": [...]})``
+        expands a sweep grid (one task per point, same labels as the
+        ``sweep`` CLI); ``submit(tasks=[("table1", None), ...])``
+        batches several artifacts into one job.
+        """
+        if tasks is not None:
+            if artifact is not None or axes is not None:
+                raise ValueError("pass either tasks= or artifact/axes, not both")
+            built = [
+                Task(registry.get(name), registry.get(name).validate(p or {}))
+                for name, p in tasks
+            ]
+            return self._backend.submit(
+                built, artifact="batch" if len(built) > 1 else built[0].spec.name,
+                priority=priority, client=self.client,
+            )
+        if artifact is None:
+            raise ValueError("submit needs an artifact or tasks=")
+        spec = registry.get(artifact)
+        if axes:
+            built = grid_tasks(spec, axes, params)
+            return self._backend.submit(
+                built, artifact=f"sweep:{spec.name}",
+                priority=priority, client=self.client,
+            )
+        task = Task(spec, spec.validate(params or {}))
+        return self._backend.submit(
+            [task], artifact=spec.name, priority=priority, client=self.client
+        )
+
+    # -- observation -----------------------------------------------------
+    def status(self, job_id: str) -> JobRecord:
+        return self._backend.status(job_id)
+
+    def events(self, job_id: str, from_seq: int = 0) -> list[JobEvent]:
+        """Non-blocking poll of the job's event log."""
+        return self._backend.events(job_id, from_seq)
+
+    def stream(self, job_id: str, from_seq: int = 0) -> Iterator[JobEvent]:
+        """Events as they happen, ending with the terminal one."""
+        return self._backend.stream(job_id, from_seq)
+
+    def wait(self, job_id: str, timeout: float | None = None) -> JobRecord:
+        """Block until the job is terminal; returns its record."""
+        return self._backend.wait(job_id, timeout)
+
+    def result(self, job_id: str) -> list[Any]:
+        """The job's live result objects, in task order (waits for
+        completion; raises on a failed/cancelled job)."""
+        return self._backend.results(job_id)
+
+    # -- control ---------------------------------------------------------
+    def cancel(self, job_id: str) -> JobRecord:
+        return self._backend.cancel(job_id)
+
+    def list_jobs(self) -> list[JobRecord]:
+        return self._backend.list_jobs()
+
+    def stats(self) -> dict[str, Any]:
+        return self._backend.stats()
+
+    def close(self) -> None:
+        self._backend.close()
+
+    def __enter__(self) -> "ExperimentClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

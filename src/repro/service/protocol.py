@@ -1,0 +1,182 @@
+"""Wire protocol shared by the experiment daemon and its clients.
+
+One connection carries one request: a single line of JSON (the
+``op`` field selects the verb), answered either by a single JSON
+response line (``{"ok": true, ...}`` / ``{"ok": false, "error":
+"..."}``) or — for ``stream`` — by a sequence of JSONL event lines
+ending with a terminal job event, after which the server closes the
+connection.  Newline-delimited JSON keeps the protocol debuggable with
+``socat`` and lets a dashboard tail a 10k-point sweep as it fills in.
+
+Addresses are either a filesystem path (AF_UNIX socket — the default:
+``$REPRO_SERVICE_ADDR``, else a per-user socket under
+``$XDG_RUNTIME_DIR`` or ``/tmp``) or ``host:port`` for TCP loopback
+use where unix sockets are unavailable.
+"""
+
+from __future__ import annotations
+
+import getpass
+import json
+import os
+import socket
+from typing import Any, Iterator
+
+__all__ = [
+    "ProtocolError",
+    "default_address",
+    "parse_address",
+    "make_listener",
+    "connect",
+    "send_line",
+    "recv_line",
+    "request",
+    "stream_request",
+]
+
+#: protocol verbs the daemon understands
+OPS = (
+    "ping", "submit", "status", "poll", "stream", "result",
+    "cancel", "list-jobs", "stats", "shutdown",
+)
+
+_MAX_LINE = 512 * 1024 * 1024  # hard backstop against a runaway peer
+
+
+class ProtocolError(RuntimeError):
+    """A malformed or failed exchange with the daemon."""
+
+
+def default_address() -> str:
+    env = os.environ.get("REPRO_SERVICE_ADDR")
+    if env:
+        return env
+    runtime = os.environ.get("XDG_RUNTIME_DIR")
+    base = runtime if runtime else "/tmp"
+    try:
+        user = getpass.getuser()
+    except Exception:
+        user = str(os.getuid()) if hasattr(os, "getuid") else "user"
+    return os.path.join(base, f"repro-experiments-{user}.sock")
+
+
+def parse_address(address: str) -> tuple[str, Any]:
+    """``("tcp", (host, port))`` for ``host:port``, else
+    ``("unix", path)``."""
+    host, sep, port = address.rpartition(":")
+    if sep and "/" not in address and port.isdigit():
+        return "tcp", (host or "127.0.0.1", int(port))
+    return "unix", address
+
+
+def make_listener(address: str, backlog: int = 32) -> socket.socket:
+    """Bind a listening socket (unlinking a stale unix-socket path)."""
+    family, target = parse_address(address)
+    if family == "unix":
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            if os.path.exists(target):
+                # refuse to steal a live daemon's socket
+                probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                probe.settimeout(0.25)
+                try:
+                    probe.connect(target)
+                except OSError:
+                    os.unlink(target)  # stale: no one is listening
+                else:
+                    probe.close()
+                    raise ProtocolError(
+                        f"another daemon is already serving {target}"
+                    )
+                finally:
+                    probe.close()
+            sock.bind(target)
+        except OSError as exc:
+            sock.close()
+            raise ProtocolError(f"cannot bind {address}: {exc}") from None
+    else:
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        try:
+            sock.bind(target)
+        except OSError as exc:
+            sock.close()
+            raise ProtocolError(f"cannot bind {address}: {exc}") from None
+    sock.listen(backlog)
+    return sock
+
+
+def connect(address: str, timeout: float | None = None) -> socket.socket:
+    family, target = parse_address(address)
+    sock = socket.socket(
+        socket.AF_UNIX if family == "unix" else socket.AF_INET,
+        socket.SOCK_STREAM,
+    )
+    if timeout is not None:
+        sock.settimeout(timeout)
+    try:
+        sock.connect(target)
+    except OSError as exc:
+        sock.close()
+        raise ProtocolError(
+            f"cannot reach an experiment daemon at {address}: {exc} "
+            f"(start one with `repro-experiments serve`)"
+        ) from None
+    return sock
+
+
+def send_line(sock: socket.socket, payload: Any) -> None:
+    sock.sendall(json.dumps(payload, separators=(",", ":")).encode() + b"\n")
+
+
+def recv_line(fh) -> Any | None:
+    """One decoded JSONL message from a socket makefile, None at EOF."""
+    line = fh.readline(_MAX_LINE)
+    if not line:
+        return None
+    try:
+        return json.loads(line)
+    except ValueError as exc:
+        raise ProtocolError(f"malformed protocol line: {exc}") from None
+
+
+def request(address: str, payload: dict, timeout: float | None = None) -> dict:
+    """One request/response exchange; raises :class:`ProtocolError` on
+    transport failure or an ``ok: false`` response."""
+    sock = connect(address, timeout)
+    try:
+        send_line(sock, payload)
+        with sock.makefile("rb") as fh:
+            response = recv_line(fh)
+    finally:
+        sock.close()
+    if response is None:
+        raise ProtocolError(f"daemon at {address} closed the connection")
+    if not response.get("ok", False):
+        raise ProtocolError(response.get("error", "daemon error"))
+    return response
+
+
+def stream_request(
+    address: str, payload: dict, timeout: float | None = None
+) -> Iterator[dict]:
+    """Send one request and yield each JSONL line until the server
+    closes the connection (the last line is the terminal job event)."""
+    sock = connect(address, timeout)
+    try:
+        send_line(sock, payload)
+        with sock.makefile("rb") as fh:
+            first = recv_line(fh)
+            if first is None:
+                raise ProtocolError(f"daemon at {address} closed the connection")
+            if not first.get("ok", True):
+                raise ProtocolError(first.get("error", "daemon error"))
+            if "event" in first:  # the ack header itself is not an event
+                yield first
+            while True:
+                message = recv_line(fh)
+                if message is None:
+                    return
+                yield message
+    finally:
+        sock.close()

@@ -149,6 +149,23 @@ class TestCli:
         rc, out, _ = cli(["table1"], tmp_path, monkeypatch, capsys)
         assert rc == 0 and "Table 1" in out
 
+    def test_old_positional_form_warns_deprecation(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        """One release of warning before the shim goes away."""
+        with pytest.warns(DeprecationWarning, match="positional form"):
+            rc, out, err = cli(["table1"], tmp_path, monkeypatch, capsys)
+        assert rc == 0 and "Table 1" in out
+        assert "deprecated" in err
+        assert "repro-experiments run" in err
+
+    def test_new_subcommands_not_hijacked_by_the_shim(
+        self, tmp_path, monkeypatch, capsys, recwarn
+    ):
+        rc, out, _ = cli(["list"], tmp_path, monkeypatch, capsys)
+        assert rc == 0
+        assert not [w for w in recwarn if w.category is DeprecationWarning]
+
     def test_scenario_flag_maps_to_param(self, tmp_path, monkeypatch, capsys):
         rc, out, _ = cli(
             ["table4", "--iters", "3", "--scenario", "am-rtt"],

@@ -1,0 +1,275 @@
+"""Integration: the experiment service's queue semantics, driven
+synchronously (``workers=0`` + ``run_pending``) — priority order,
+per-client quota, in-flight dedup, cache resolution, cancel/drain —
+plus the versioned JobRecord/JobEvent envelope round trip.
+"""
+
+import os
+from dataclasses import dataclass
+
+import pytest
+
+from repro.experiments import registry
+from repro.experiments.cache import ResultCache
+from repro.experiments.registry import ExperimentParamError, ExperimentSpec, ParamSpec
+from repro.experiments.serde import (
+    JOB_SCHEMA_VERSION,
+    JobEvent,
+    JobRecord,
+)
+from repro.service.server import ExperimentService, ServiceConfig, ServiceError
+
+
+# --- a tiny registered spec the inline executor can import ---------------
+
+@dataclass
+class SvcResult:
+    value: int
+
+    def render(self) -> str:
+        return f"svc value={self.value}"
+
+    def to_json(self) -> dict:
+        return {"value": self.value}
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "SvcResult":
+        return cls(**payload)
+
+
+#: set to a file path to log execution order (priority-order test)
+ORDER_ENV = "REPRO_SVC_ORDER_FILE"
+
+
+def run_svc(*, value: int = 0) -> SvcResult:
+    path = os.environ.get(ORDER_ENV)
+    if path:
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write(f"{value}\n")
+    return SvcResult(value)
+
+
+_HERE = "tests.integration.test_service_queue"
+
+try:
+    registry.get("svc-tiny")
+except KeyError:
+    registry.register(ExperimentSpec(
+        name="svc-tiny", title="service-test artifact", module=_HERE,
+        entry="run_svc", result_type="SvcResult",
+        params=(ParamSpec("value", "int", 0),),
+    ))
+
+
+def make_service(**config) -> ExperimentService:
+    return ExperimentService(config=ServiceConfig(workers=0, **config))
+
+
+def one(value: int) -> list:
+    return [("svc-tiny", {"value": value}, "")]
+
+
+class TestSerde:
+    def test_event_round_trips(self):
+        event = JobEvent(kind="row", job_id="j0001", seq=3, data={"index": 0})
+        back = JobEvent.from_json(event.to_json())
+        assert back == event and back.version == JOB_SCHEMA_VERSION
+        assert not back.terminal
+
+    def test_terminal_events(self):
+        for kind in ("job.done", "job.failed", "job.cancelled"):
+            assert JobEvent(kind=kind, job_id="j", seq=0).terminal
+
+    def test_record_round_trips_exactly(self):
+        record = JobRecord(
+            job_id="j0001", client="c", artifact="sweep:scaling",
+            state="done", artifacts=["scaling"],
+            params=[{"sizes": (20, 200)}],  # tuple normalizes to list
+            labels=["scaling sizes=20"], tasks_total=1, tasks_done=1,
+            results=[{"points": []}],
+        )
+        back = JobRecord.from_json(record.to_json())
+        assert back == record
+        assert back.params == [{"sizes": [20, 200]}]
+        assert back.terminal
+
+    def test_newer_schema_version_rejected(self):
+        payload = JobRecord(job_id="j", client="c", artifact="a").to_json()
+        payload["version"] = JOB_SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="unsupported schema version"):
+            JobRecord.from_json(payload)
+        event = JobEvent(kind="row", job_id="j", seq=0).to_json()
+        event["version"] = JOB_SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="unsupported schema version"):
+            JobEvent.from_json(event)
+
+    def test_unknown_state_rejected(self):
+        with pytest.raises(ValueError, match="unknown state"):
+            JobRecord(job_id="j", client="c", artifact="a", state="exploded")
+
+    def test_unknown_field_rejected(self):
+        payload = JobEvent(kind="row", job_id="j", seq=0).to_json()
+        payload["surprise"] = 1
+        with pytest.raises(ValueError, match="unknown fields"):
+            JobEvent.from_json(payload)
+
+
+class TestSubmitBoundary:
+    def test_empty_job_rejected(self):
+        with pytest.raises(ServiceError, match="at least one task"):
+            make_service().submit("c", [])
+
+    def test_unknown_artifact_rejected(self):
+        with pytest.raises(ServiceError, match="unknown experiment"):
+            make_service().submit("c", [("figure7", None, "")])
+
+    def test_bad_params_fail_the_submit_not_the_worker(self):
+        with pytest.raises(ExperimentParamError, match="no parameter"):
+            make_service().submit("c", [("svc-tiny", {"bogus": 1}, "")])
+
+    def test_non_cacheable_artifact_rejected_over_the_wire(self):
+        svc = ExperimentService("/tmp/never-bound.sock")  # address set, not started
+        with pytest.raises(ServiceError, match="cannot .*be returned over the wire"):
+            svc.submit("c", [("trace", None, "")])
+
+    def test_draining_rejects_submits(self):
+        svc = make_service()
+        svc.request_drain()
+        with pytest.raises(ServiceError, match="draining"):
+            svc.submit("c", one(1))
+
+
+class TestQueueSemantics:
+    def test_inline_job_runs_to_done_with_full_event_log(self):
+        svc = make_service()
+        job = svc.submit("c", one(7))
+        assert svc.status(job).state == "queued"
+        assert svc.run_pending() == 1
+        record = svc.status(job)
+        assert record.state == "done" and record.tasks_done == 1
+        assert record.results == [{"value": 7}]
+        kinds = [e.kind for e in svc.events(job)]
+        assert kinds == [
+            "job.queued", "task.started", "task.finished", "row", "job.done",
+        ]
+        seqs = [e.seq for e in svc.events(job)]
+        assert seqs == list(range(len(kinds)))  # dense, from 0
+
+    def test_wait_timeout_returns_non_terminal_record(self):
+        svc = make_service()
+        job = svc.submit("c", one(1))
+        record = svc.wait(job, timeout=0.01)
+        assert not record.terminal and record.state == "queued"
+
+    def test_priority_order_beats_submission_order(self, tmp_path, monkeypatch):
+        order = tmp_path / "order.log"
+        monkeypatch.setenv(ORDER_ENV, str(order))
+        svc = make_service()
+        svc.submit("c", one(1), priority=0)
+        svc.submit("c", one(2), priority=5)
+        svc.submit("c", one(3), priority=0)
+        assert svc.run_pending() == 3
+        assert order.read_text().split() == ["2", "1", "3"]
+
+    def test_quota_skips_saturated_client(self):
+        svc = ExperimentService(config=ServiceConfig(workers=4, quota=1))
+        svc.submit("hog", [("svc-tiny", {"value": 1}, ""),
+                           ("svc-tiny", {"value": 2}, "")])
+        other = svc.submit("interactive", one(3))
+        with svc._cond:
+            job1, _ = svc._pick_locked()  # hog's first task claims its quota
+            assert job1.record.client == "hog"
+            picked = svc._pick_locked()
+        assert picked is not None
+        job2, _ = picked
+        # hog's second task is skipped: the later client runs instead
+        assert job2.record.job_id == other
+
+    def test_identical_inflight_task_dedups_instead_of_rerunning(self):
+        svc = make_service()
+        j1 = svc.submit("a", one(7))
+        with svc._cond:
+            action = svc._pick_locked()  # j1's task is now in flight
+        j2 = svc.submit("b", one(7))
+        with svc._cond:
+            assert svc._pick_locked() is None  # folded into the twin
+        svc._dispatch(*action)
+        r1, r2 = svc.status(j1), svc.status(j2)
+        assert r1.state == r2.state == "done"
+        assert (r1.dedup_hits, r2.dedup_hits) == (0, 1)
+        assert r2.results == r1.results == [{"value": 7}]
+        finished = [e for e in svc.events(j2) if e.kind == "task.finished"]
+        assert finished[0].data["source"] == "dedup"
+        assert svc._counts["tasks_executed"] == 1
+
+    def test_cache_resolves_repeat_jobs_without_execution(self, tmp_path):
+        cache = ResultCache(tmp_path, version="q")
+        svc = ExperimentService(
+            config=ServiceConfig(workers=0), cache=cache
+        )
+        j1 = svc.submit("a", one(5))
+        assert svc.run_pending() == 1
+        j2 = svc.submit("b", one(5))
+        assert svc.run_pending() == 1
+        r2 = svc.status(j2)
+        assert r2.state == "done" and r2.cache_hits == 1
+        assert "task.cached" in [e.kind for e in svc.events(j2)]
+        assert svc._counts["tasks_executed"] == 1
+        assert svc.status(j1).results == r2.results
+
+    def test_cancel_drops_queued_tasks_and_ends_the_stream(self):
+        svc = make_service()
+        job = svc.submit("c", one(1))
+        record = svc.cancel(job)
+        assert record.state == "cancelled"
+        assert record.error.startswith("cancelled")
+        assert svc.run_pending() == 0  # nothing left to move
+        events = svc.events(job)
+        assert events[-1].kind == "job.cancelled"
+        assert events[-1].data["dropped_tasks"] == 1
+        # cancelling a terminal job is a no-op
+        assert svc.cancel(job).state == "cancelled"
+
+    def test_terminal_jobs_trimmed_past_keep_jobs(self):
+        svc = make_service(keep_jobs=1)
+        j1 = svc.submit("c", one(1))
+        svc.run_pending()
+        j2 = svc.submit("c", one(2))
+        with pytest.raises(ServiceError, match="unknown job"):
+            svc.status(j1)
+        assert svc.status(j2).state == "queued"
+
+    def test_failed_task_fails_the_job_with_terminal_event(self, monkeypatch):
+        svc = make_service()
+        job = svc.submit("c", one(1))
+
+        def boom(*a, **k):
+            raise RuntimeError("kaput")
+
+        monkeypatch.setattr("repro.service.server._execute", boom)
+        svc.run_pending()
+        record = svc.status(job)
+        assert record.state == "failed" and "kaput" in record.error
+        assert svc.events(job)[-1].kind == "job.failed"
+
+    def test_stats_reports_counters_and_histograms(self, tmp_path):
+        svc = ExperimentService(
+            config=ServiceConfig(workers=0),
+            cache=ResultCache(tmp_path, version="q"),
+        )
+        svc.submit("c", one(1))
+        svc.run_pending()
+        stats = svc.stats()
+        assert stats["counts"]["jobs_submitted"] == 1
+        assert stats["counts"]["tasks_executed"] == 1
+        assert stats["cache"]["stores"] == 1
+        assert "svc.wait_ms" in stats["histograms"]
+        assert stats["queue_depth"] == 0 and not stats["draining"]
+
+    def test_event_replay_from_seq(self):
+        svc = make_service()
+        job = svc.submit("c", one(1))
+        svc.run_pending()
+        tail = svc.events(job, from_seq=3)
+        assert [e.kind for e in tail] == ["row", "job.done"]
+        assert tail[0].seq == 3

@@ -1,6 +1,9 @@
-"""Unit: the content-addressed result cache — hit/miss/invalidation."""
+"""Unit: the content-addressed result cache — hit/miss/invalidation,
+concurrent-writer safety, integrity re-hash, and size-capped LRU GC."""
 
 import json
+import os
+import threading
 
 import pytest
 
@@ -96,3 +99,117 @@ class TestLoadStore:
         result = Table4Result(am_rtt_us=54.4, mpl_rtt_us=None)
         c.store(spec, spec.validate(), result)
         assert c.load(spec, spec.validate()) == result
+
+
+class TestConcurrentWriters:
+    def test_temp_names_are_unique_per_call(self, tmp_path, spec):
+        c = ResultCache(tmp_path, version="1")
+        target = c.path(spec, {"sizes": (20,)})
+        t1, t2 = ResultCache._tmp_path(target), ResultCache._tmp_path(target)
+        # the regression: a shared "<key>.tmp" let two writers of the
+        # same key interleave partial JSON before the rename
+        assert t1 != t2
+        assert t1.parent == t2.parent == target.parent
+        assert str(os.getpid()) in t1.name
+
+    def test_hammering_one_key_never_corrupts_it(self, tmp_path, spec, result):
+        c = ResultCache(tmp_path, version="1")
+        params = spec.validate({"sizes": (20,)})
+        n_threads, n_rounds = 8, 12
+        barrier = threading.Barrier(n_threads)
+        failures = []
+
+        def writer():
+            try:
+                barrier.wait()
+                for _ in range(n_rounds):
+                    c.store(spec, params, result)
+                    loaded = ResultCache(tmp_path, version="1").load(spec, params)
+                    if loaded is not None and loaded != result:
+                        failures.append(loaded)
+            except Exception as exc:  # pragma: no cover - the test's point
+                failures.append(exc)
+
+        threads = [threading.Thread(target=writer) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert failures == []
+        assert c.load(spec, params) == result
+        assert not list(tmp_path.glob("*/*.tmp"))  # every temp was renamed
+
+
+class TestIntegrity:
+    def test_tampered_payload_is_a_miss_and_is_deleted(self, tmp_path, spec, result):
+        c = ResultCache(tmp_path, version="1")
+        params = spec.validate({"sizes": (20,)})
+        path = c.store(spec, params, result)
+        envelope = json.loads(path.read_text())
+        envelope["result"]["points"][0]["sc_us"] = 999.0  # bit-rot
+        path.write_text(json.dumps(envelope), encoding="utf-8")
+        assert c.load(spec, params) is None
+        assert c.integrity_failures == 1
+        assert not path.exists()  # the bad envelope is gone
+        # and a fresh store repairs the entry
+        c.store(spec, params, result)
+        assert c.load(spec, params) == result
+
+    def test_pre_integrity_envelope_still_loads(self, tmp_path, spec, result):
+        """Envelopes without a sha256 field (older writers) stay valid."""
+        c = ResultCache(tmp_path, version="1")
+        params = spec.validate({"sizes": (20,)})
+        path = c.store(spec, params, result)
+        envelope = json.loads(path.read_text())
+        del envelope["sha256"]
+        path.write_text(json.dumps(envelope), encoding="utf-8")
+        assert c.load(spec, params) == result
+        assert c.integrity_failures == 0
+
+
+class TestGC:
+    def _fill(self, cache, spec, result, sizes):
+        paths = {}
+        for i, size in enumerate(sizes):
+            params = spec.validate({"sizes": (size,)})
+            path = cache.store(spec, params, result)
+            # deterministic, well-separated LRU clock
+            os.utime(path, (1000.0 + i, 1000.0 + i))
+            paths[size] = path
+        return paths
+
+    def test_noop_under_cap(self, tmp_path, spec, result):
+        c = ResultCache(tmp_path, version="1")
+        self._fill(c, spec, result, [20, 200])
+        report = c.gc(max_bytes=c.size_bytes())
+        assert report.evicted == 0
+        assert report.scanned == 2
+        assert report.bytes_after == report.bytes_before
+
+    def test_evicts_oldest_first_until_under_cap(self, tmp_path, spec, result):
+        c = ResultCache(tmp_path, version="1")
+        paths = self._fill(c, spec, result, [20, 200, 2000])
+        one_size = paths[20].stat().st_size
+        report = c.gc(max_bytes=c.size_bytes() - 1)  # force evicting one
+        assert report.evicted == 1
+        assert report.evicted_paths == [paths[20]]  # oldest mtime
+        assert not paths[20].exists() and paths[200].exists()
+        assert report.bytes_before - report.bytes_after == one_size
+
+    def test_hit_refreshes_the_lru_clock(self, tmp_path, spec, result):
+        c = ResultCache(tmp_path, version="1")
+        paths = self._fill(c, spec, result, [20, 200])
+        # a hit on the older entry makes the other one the eviction victim
+        assert c.load(spec, spec.validate({"sizes": (20,)})) == result
+        report = c.gc(max_bytes=c.size_bytes() - 1)
+        assert report.evicted_paths == [paths[200]]
+        assert paths[20].exists()
+
+    def test_gc_sweeps_stale_temp_files(self, tmp_path, spec, result):
+        c = ResultCache(tmp_path, version="1")
+        self._fill(c, spec, result, [20])
+        stale = tmp_path / "scaling" / "deadbeef.12345.0.tmp"
+        stale.write_text("{half an envel", encoding="utf-8")
+        report = c.gc(max_bytes=10**9)
+        assert not stale.exists()
+        assert report.evicted == 0  # real envelopes untouched
